@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure, prints the
+paper-vs-measured report, and records headline numbers in
+``benchmark.extra_info`` so they land in pytest-benchmark's JSON.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Benchmark-scale experiment configuration.
+
+    Sized between FAST (CI) and DEFAULT so the whole harness finishes
+    in a couple of minutes while keeping the distributions smooth.
+    """
+    return ExperimentConfig(
+        seed=42,
+        latency_requests=120,
+        image_latency_requests=10,
+        throughput_requests=200,
+        image_throughput_requests=12,
+        contention_requests=300,
+        contention_concurrency=4,
+    )

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 6 (latency ECDFs in isolation)."""
+
+from repro.experiments import fig6_latency
+from repro.experiments.calibration import (
+    PAPER_BARE_METAL_LATENCY_IMPROVEMENT,
+    PAPER_MAX_LATENCY_IMPROVEMENT,
+)
+
+
+def test_fig6_latency(benchmark, config):
+    report = benchmark.pedantic(
+        fig6_latency.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    cells = report.cells
+    nic_web = cells[("web_server", "lambda-nic")]
+    bare_web = cells[("web_server", "bare-metal")]
+    container_web = cells[("web_server", "container")]
+    nic_img = cells[("image_transformer", "lambda-nic")]
+    bare_img = cells[("image_transformer", "bare-metal")]
+    container_img = cells[("image_transformer", "container")]
+
+    container_factor = container_web.mean / nic_web.mean
+    bare_factor = bare_web.mean / nic_web.mean
+    benchmark.extra_info["container_vs_nic_web"] = round(container_factor, 1)
+    benchmark.extra_info["bare_vs_nic_web"] = round(bare_factor, 1)
+    benchmark.extra_info["container_vs_nic_image"] = round(
+        container_img.mean / nic_img.mean, 2
+    )
+
+    # Paper shape: ~880x container / ~30x bare-metal on web; 5x / 3x on
+    # image; λ-NIC better at the tail too.
+    assert container_factor > PAPER_MAX_LATENCY_IMPROVEMENT / 3
+    assert bare_factor > PAPER_BARE_METAL_LATENCY_IMPROVEMENT / 2
+    assert 2.0 < bare_img.mean / nic_img.mean < 6.0
+    assert 3.0 < container_img.mean / nic_img.mean < 10.0
+    assert bare_web.p99 / nic_web.p99 > 5.0
+    # Ordering holds for every workload.
+    for workload in ["web_server", "kv_client", "image_transformer"]:
+        nic = cells[(workload, "lambda-nic")]
+        bare = cells[(workload, "bare-metal")]
+        container = cells[(workload, "container")]
+        assert nic.mean < bare.mean < container.mean

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 7 (throughput in isolation)."""
+
+from repro.experiments import fig7_throughput
+
+
+def test_fig7_throughput(benchmark, config):
+    report = benchmark.pedantic(
+        fig7_throughput.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    cells = report.cells
+    for concurrency in config.concurrencies:
+        for workload in ["web_server", "kv_client", "image_transformer"]:
+            nic = cells[(workload, "lambda-nic", concurrency)]
+            bare = cells[(workload, "bare-metal", concurrency)]
+            container = cells[(workload, "container", concurrency)]
+            # λ-NIC always fastest, container always slowest.
+            assert nic.throughput > bare.throughput > container.throughput
+
+    nic56 = cells[("web_server", "lambda-nic", 56)]
+    container56 = cells[("web_server", "container", 56)]
+    img_nic56 = cells[("image_transformer", "lambda-nic", 56)]
+    img_bare56 = cells[("image_transformer", "bare-metal", 56)]
+
+    benchmark.extra_info["nic_web_rps_56"] = round(nic56.throughput)
+    benchmark.extra_info["container_speedup_56"] = round(
+        nic56.throughput / container56.throughput, 1
+    )
+
+    # Paper shape: one-to-two orders of magnitude on web/kv (27x-736x),
+    # and 5x-15x on the image transformer.
+    assert nic56.throughput / container56.throughput > 100
+    assert 3.0 < img_nic56.throughput / img_bare56.throughput < 40.0
+    # λ-NIC's 56-thread web throughput is gateway-proxy-capped near the
+    # paper's 58k req/s.
+    assert 40_000 < nic56.throughput < 70_000

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 8 (latency under lambda contention)."""
+
+from repro.experiments import fig8_contention
+
+
+def test_fig8_contention(benchmark, config):
+    report = benchmark.pedantic(
+        fig8_contention.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    nic = report.cells["lambda-nic-56"]
+    bare56 = report.cells["bare-metal-56"]
+    bare1 = report.cells["bare-metal-1"]
+
+    factor56 = bare56.mean / nic.mean
+    factor1 = bare1.mean / nic.mean
+    benchmark.extra_info["bare56_vs_nic"] = round(factor56, 1)
+    benchmark.extra_info["bare1_vs_nic"] = round(factor1, 1)
+
+    # Paper: bare-metal 178x-330x worse under contention. We accept the
+    # same order of magnitude.
+    assert 80 < factor56 < 700
+    assert 80 < factor1 < 700
+    # λ-NIC is essentially unaffected by running 3 lambdas: its mean
+    # stays in the tens of microseconds.
+    assert nic.mean < 100e-6
+    # Bare-metal context switching shows up as a heavy tail.
+    assert bare56.p99 > 5 * nic.p99

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 9 (optimizer effectiveness)."""
+
+from repro.experiments import fig9_optimizer
+from repro.experiments.calibration import PAPER_FIG9
+
+
+def test_fig9_optimizer(benchmark, config):
+    report = benchmark.pedantic(
+        fig9_optimizer.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    firmware = fig9_optimizer.compile_fig9()
+    stages = firmware.report.rows()
+    benchmark.extra_info["baseline_instructions"] = stages[0][1]
+    benchmark.extra_info["final_instructions"] = stages[-1][1]
+    benchmark.extra_info["total_reduction_pct"] = round(stages[-1][2], 2)
+
+    # Monotonically decreasing instruction counts.
+    counts = [count for _, count, _ in stages]
+    assert counts == sorted(counts, reverse=True)
+
+    # Within 5% of the paper's counts and 1.5pp of each cumulative
+    # reduction at every stage.
+    for (stage, count, reduction), (p_stage, p_count, p_red) in zip(
+        stages, PAPER_FIG9,
+    ):
+        assert stage == p_stage
+        assert abs(count - p_count) / p_count < 0.05
+        assert abs(reduction - p_red) < 1.5

@@ -1,0 +1,19 @@
+"""Benchmark: footnote-3 reordering microbenchmark."""
+
+from repro.experiments import micro_reorder
+from repro.experiments.calibration import PAPER_REORDER_INSTRUCTIONS
+
+
+def test_micro_reorder(benchmark, config):
+    report = benchmark.pedantic(
+        micro_reorder.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    instructions = report.rows[0][1]
+    fraction = float(report.rows[2][1])
+    benchmark.extra_info["reorder_instructions"] = instructions
+    benchmark.extra_info["fraction_pct"] = fraction
+    assert instructions == PAPER_REORDER_INSTRUCTIONS
+    assert 0.5 < fraction < 3.0  # paper: 1.3%

@@ -1,0 +1,19 @@
+"""Benchmark: print Table 1 and verify the modelled NIC's profile."""
+
+from repro.experiments import table1_nic_types
+
+
+def test_table1_nic_types(benchmark, config):
+    report = benchmark.pedantic(
+        table1_nic_types.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    profile = table1_nic_types.modeled_asic_profile()
+    benchmark.extra_info.update(profile)
+    # The modelled ASIC NIC matches the paper's testbed description:
+    # 56 cores x 8 threads at 633 MHz (§6.1.2).
+    assert profile["cores"] == 56
+    assert profile["threads"] == 56 * 8
+    assert profile["clock_mhz"] == 633.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 2 (throughput under contention)."""
+
+from repro.experiments import fig8_contention
+from repro.experiments.calibration import PAPER_TABLE2
+
+
+def test_table2_contention_throughput(benchmark, config):
+    report = benchmark.pedantic(
+        fig8_contention.run_table2, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    nic = report.cells["lambda-nic-56"].throughput
+    bare56 = report.cells["bare-metal-56"].throughput
+    bare1 = report.cells["bare-metal-1"].throughput
+    benchmark.extra_info["nic_rps"] = round(nic)
+    benchmark.extra_info["bare56_rps"] = round(bare56)
+    benchmark.extra_info["bare1_rps"] = round(bare1)
+
+    # λ-NIC saturates the gateway near the paper's 58k req/s.
+    assert abs(nic - PAPER_TABLE2["lambda-nic-56"]) / \
+        PAPER_TABLE2["lambda-nic-56"] < 0.25
+    # Bare-metal collapses to around a thousand req/s (paper: 950/520),
+    # and extra threads cannot save it (GIL + context switches).
+    assert bare56 < nic / 20
+    assert 200 < bare1 < 4_000
+    assert bare56 < 5_000
+    assert bare1 <= bare56 * 1.5

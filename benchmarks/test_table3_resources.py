@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 3 (resource utilization)."""
+
+from repro.experiments import table3_resources
+from repro.experiments.calibration import PAPER_TABLE3
+
+
+def test_table3_resources(benchmark, config):
+    report = benchmark.pedantic(
+        table3_resources.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    nic = report.cells["lambda-nic"].extra
+    bare = report.cells["bare-metal"].extra
+    container = report.cells["container"].extra
+
+    benchmark.extra_info["nic_mem_mib"] = round(nic["nic_mem_mib"], 1)
+    benchmark.extra_info["bare_cpu_pct"] = round(bare["host_cpu_pct"], 1)
+    benchmark.extra_info["container_cpu_pct"] = round(
+        container["host_cpu_pct"], 1
+    )
+
+    # λ-NIC leaves the host alone but consumes NIC memory (paper 63.2 MiB).
+    assert nic["host_cpu_pct"] < 1.0
+    assert nic["host_mem_mib"] == 0.0
+    assert 30 < nic["nic_mem_mib"] < 90
+    # Host backends consume host memory exactly per their runtimes.
+    assert bare["host_mem_mib"] == 62.5
+    assert container["host_mem_mib"] == 219.5
+    assert bare["nic_mem_mib"] == container["nic_mem_mib"] == 0.0
+    # Container burns more CPU than bare-metal (paper 13.7 vs 9.2 %).
+    assert container["host_cpu_pct"] > bare["host_cpu_pct"] > 2.0
+    assert container["host_cpu_pct"] < 25.0

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 4 (workload size and startup time)."""
+
+from repro.experiments import table4_startup
+from repro.experiments.calibration import PAPER_TABLE4
+
+
+def test_table4_startup(benchmark, config):
+    report = benchmark.pedantic(
+        table4_startup.run, args=(config,), rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+
+    for backend in ["lambda-nic", "bare-metal", "container"]:
+        measured = report.cells[backend].extra
+        paper = PAPER_TABLE4[backend]
+        benchmark.extra_info[f"{backend}_startup_s"] = round(
+            measured["startup_s"], 1
+        )
+        # Within 25% of the paper on both columns.
+        assert abs(measured["size_mib"] - paper["size_mib"]) / \
+            paper["size_mib"] < 0.25
+        assert abs(measured["startup_s"] - paper["startup_s"]) / \
+            paper["startup_s"] < 0.25
+
+    # Ordering: bare-metal boots fastest; containers slowest; λ-NIC
+    # pays firmware compilation but stays ~2x under container overhead.
+    nic = report.cells["lambda-nic"].extra["startup_s"]
+    bare = report.cells["bare-metal"].extra["startup_s"]
+    container = report.cells["container"].extra["startup_s"]
+    assert bare < nic < container
+    assert (nic - bare) < (container - bare)

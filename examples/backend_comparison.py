@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare the three backends on the paper's interactive workloads.
+
+A miniature Figure 6 + Figure 7: run the web-server and key-value
+workloads against λ-NIC, bare-metal, and containers, and print mean/p99
+latency and closed-loop throughput side by side.
+
+Run:  python examples/backend_comparison.py
+"""
+
+from repro.serverless import Testbed, closed_loop
+from repro.workloads import kv_client_spec, web_server_spec
+
+BACKENDS = ["lambda-nic", "bare-metal", "container"]
+
+
+def measure(backend: str, spec, n_requests: int = 120):
+    testbed = Testbed(seed=3, n_workers=1)
+    testbed.add_backend(backend)
+
+    def scenario(env):
+        yield testbed.manager.deploy(spec, backend)
+        result = yield closed_loop(
+            testbed.env, testbed.gateway, spec.name, n_requests=n_requests,
+        )
+        return result
+
+    process = testbed.env.process(scenario(testbed.env))
+    testbed.run(until=process)
+    return process.value
+
+
+def main() -> None:
+    for spec in [web_server_spec(), kv_client_spec()]:
+        print(f"\n=== {spec.name} ===")
+        print(f"{'backend':12s} {'mean':>12s} {'p99':>12s} {'req/s':>10s} "
+              f"{'vs lambda-nic':>14s}")
+        baseline = None
+        for backend in BACKENDS:
+            result = measure(backend, spec)
+            if baseline is None:
+                baseline = result.mean_latency
+            print(f"{backend:12s} {result.mean_latency*1e6:10.1f}us "
+                  f"{result.percentile(99)*1e6:10.1f}us "
+                  f"{result.throughput_rps:10.0f} "
+                  f"{result.mean_latency / baseline:13.1f}x")
+    print("\npaper (Fig. 6): container ~880x, bare-metal ~30x slower "
+          "than lambda-nic on these workloads")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Author and deploy a custom Match+Lambda workload.
+
+Shows the developer-facing API the paper describes in §4.1: write a
+lambda against the flat-memory abstract machine model with the IR
+builder (our Micro-C front-end), register it with the λ-NIC runtime,
+and let the framework generate the parser and match stage, optimise,
+and flash.
+
+The custom lambda is a token-counter API: every request increments a
+persistent per-bucket counter (global state persists across runs) and
+replies with the new count.
+
+Run:  python examples/custom_lambda.py
+"""
+
+from repro.core import MatchLambdaWorkload
+from repro.isa import AccessMode, ProgramBuilder
+from repro.serverless import Testbed, closed_loop
+
+BUCKETS = 16
+
+
+def build_counter_lambda(name: str = "counter"):
+    builder = ProgramBuilder(name)
+    # 8 bytes per bucket of persistent state in the flat address space;
+    # the compiler will place it (hot -> core-local memory).
+    builder.object("counts", BUCKETS * 8, AccessMode.READ_WRITE, hot=True)
+    fn = builder.function(name)
+    fn.hload("r1", "LambdaHeader", "request_id")
+    fn.band("r2", "r1", BUCKETS - 1)        # bucket index
+    fn.shl("r3", "r2", 3)                   # byte offset
+    fn.load("r4", "counts", "r3")           # flat-memory read
+    fn.add("r4", "r4", 1)
+    fn.store("counts", "r3", "r4")          # flat-memory write
+    fn.mstore("count", "r4")                # reply metadata
+    fn.mstore("response_bytes", 64)
+    fn.hstore("LambdaHeader", "is_response", 1)
+    fn.forward()
+    builder.close(fn)
+    return builder.build()
+
+
+def main() -> None:
+    testbed = Testbed(seed=13, n_workers=1)
+    testbed.add_lambda_nic_backend()
+
+    # Deploy by registering directly with the λ-NIC core runtime.
+    runtime = testbed.nic_runtime
+    workload = MatchLambdaWorkload(build_counter_lambda())
+    wid = runtime.register(workload)
+    firmware = runtime.deploy_instant()
+    testbed.gateway.set_route("counter", wid,
+                              [nic.name for nic in testbed.nics])
+    placed = firmware.program.object("counter.counts").region
+    print(f"deployed 'counter' (wid={wid}); "
+          f"state placed in {placed.value} memory")
+
+    def scenario(env):
+        result = yield closed_loop(testbed.env, testbed.gateway, "counter",
+                                   n_requests=48)
+        return result
+
+    process = testbed.env.process(scenario(testbed.env))
+    testbed.run(until=process)
+    result = process.value
+    print(f"served {result.completed} requests, "
+          f"mean latency {result.mean_latency * 1e6:.2f} us")
+
+    # Persistent state: each of the 16 buckets was hit 3 times.
+    counts = testbed.nics[0].lambda_memory("counter.counts")
+    values = [int.from_bytes(counts[i * 8:(i + 1) * 8], "little")
+              for i in range(BUCKETS)]
+    print(f"per-bucket counts on the NIC: {values}")
+    assert all(value == 3 for value in values)
+    print("persistent lambda state verified.")
+
+
+if __name__ == "__main__":
+    main()

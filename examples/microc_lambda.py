@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Write a lambda in Micro-C source and run it on λ-NIC.
+
+The paper's users author lambdas in Micro-C (Listings 1-2). This
+example writes a rate-tracking API lambda as source text, compiles it
+through the front-end, deploys the firmware, and calls it — the
+closest thing to the paper's end-to-end developer workflow.
+
+Run:  python examples/microc_lambda.py
+"""
+
+from repro.core import MatchLambdaWorkload
+from repro.microc import compile_microc
+from repro.serverless import Testbed, closed_loop
+
+SOURCE = """
+// A tiny API backend: per-user hit counters with a burst flag.
+#pragma hot hits
+uint64_t hits[32];
+
+int api_backend() {
+    int user = hdr.LambdaHeader.wid & 31;  // demo: one shared bucket
+    hits[user] = hits[user] + 1;
+    meta.count = hits[user];
+    if (hits[user] > 4) {
+        meta.throttled = 1;
+        reply(32);           // short "429" response
+        return 0;
+    }
+    meta.throttled = 0;
+    reply(256);              // normal response
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_microc(SOURCE, name="api_backend")
+    print(f"compiled Micro-C -> {program.instruction_count} NPU instructions, "
+          f"{program.data_bytes} B of lambda state")
+
+    testbed = Testbed(seed=23, n_workers=1)
+    testbed.add_lambda_nic_backend()
+    runtime = testbed.nic_runtime
+    wid = runtime.register(MatchLambdaWorkload(program))
+    firmware = runtime.deploy_instant()
+    testbed.gateway.set_route("api_backend", wid,
+                              [nic.name for nic in testbed.nics])
+    print(f"deployed as wid={wid}; state in "
+          f"{firmware.program.object('api_backend.hits').region.value} memory")
+
+    def scenario(env):
+        # Hammer one user id six times: the 5th+ request gets throttled.
+        outcomes = []
+        for _ in range(6):
+            outcome = yield testbed.gateway.request("api_backend")
+            meta = outcome.response.meta["lambda_meta"]
+            outcomes.append((meta["count"], meta["throttled"]))
+        return outcomes
+
+    process = testbed.env.process(scenario(testbed.env))
+    testbed.run(until=process)
+    for count, throttled in process.value:
+        state = "THROTTLED" if throttled else "ok"
+        print(f"  hit count={count} -> {state}")
+
+    counts = [count for count, _ in process.value]
+    throttled = [bool(flag) for _, flag in process.value]
+    assert counts == [1, 2, 3, 4, 5, 6]
+    assert throttled == [False] * 4 + [True] * 2
+    print("persistent counters and throttling verified.")
+
+
+if __name__ == "__main__":
+    main()

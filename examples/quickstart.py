@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: deploy a web-server lambda on λ-NIC and call it.
+
+Builds the paper's testbed (a master and workers on a 10 G switch),
+deploys the web-server workload to the SmartNIC backend through the
+full pipeline (compile -> store -> flash -> route), then issues
+requests through the gateway and prints what the paper's Figure 6
+measures: end-to-end latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.serverless import Testbed, closed_loop
+from repro.workloads import web_server_spec
+
+
+def main() -> None:
+    testbed = Testbed(seed=7)
+    testbed.add_lambda_nic_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        print("deploying web_server to the lambda-nic backend ...")
+        record = yield testbed.manager.deploy(spec, "lambda-nic")
+        print(f"  firmware binary : {record.result.package_bytes / 2**20:.2f} MiB")
+        print(f"  startup time    : {record.startup_seconds:.1f} s")
+        firmware = testbed.nic_runtime.firmware
+        print(f"  instructions    : {firmware.instruction_count}"
+              f" (after {firmware.report.total_reduction_percent:.1f}% "
+              f"optimizer reduction)")
+
+        print("\nissuing 100 requests through the gateway ...")
+        result = yield closed_loop(
+            testbed.env, testbed.gateway, spec.name, n_requests=100,
+        )
+        print(f"  completed  : {result.completed}")
+        print(f"  mean       : {result.mean_latency * 1e6:8.2f} us")
+        print(f"  p50        : {result.percentile(50) * 1e6:8.2f} us")
+        print(f"  p99        : {result.percentile(99) * 1e6:8.2f} us")
+        print(f"  throughput : {result.throughput_rps:8.0f} req/s")
+        nic = testbed.nics[0]
+        print(f"\nNIC stats: {nic.stats.requests_served} served on "
+              f"{len(nic.cores)} cores x {nic.cores[0].threads} threads")
+
+    process = testbed.env.process(scenario(testbed.env))
+    testbed.run(until=process)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure from the paper's evaluation.
+
+Prints each experiment's paper-vs-measured report. Pass ``--fast`` for
+the smaller CI-scale configuration.
+
+Run:  python examples/run_all_experiments.py [--fast]
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, DEFAULT_CONFIG, FAST_CONFIG
+
+ORDER = ["table1", "fig6", "fig7", "fig8", "table2", "table3", "table4",
+         "fig9", "reorder"]
+
+
+def main() -> None:
+    config = FAST_CONFIG if "--fast" in sys.argv else DEFAULT_CONFIG
+    total_started = time.time()
+    for name in ORDER:
+        started = time.time()
+        report = ALL_EXPERIMENTS[name](config)
+        print(report.format())
+        print(f"  [{time.time() - started:.1f}s]\n")
+    print(f"all experiments regenerated in "
+          f"{time.time() - total_started:.1f}s wall-clock")
+
+
+if __name__ == "__main__":
+    main()

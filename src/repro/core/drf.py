@@ -1,0 +1,133 @@
+"""Dominant Resource Fairness for NIC resources (paper §4.2.1-D1).
+
+The paper leaves "more sophisticated resource-allocation mechanisms
+(e.g., DRF [61])" as future work; this module implements the classic
+progressive-filling DRF allocator (Ghodsi et al., NSDI'11) over the
+SmartNIC's shared resources (threads, memory bandwidth, instruction
+store, ...) and can derive per-lambda WFQ weights from the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class DrfUser:
+    """One lambda competing for NIC resources."""
+
+    name: str
+    #: Per-task demand vector: resource name -> amount per task.
+    demand: Dict[str, float]
+    weight: float = 1.0
+    tasks: int = 0
+
+    def dominant_share(self, capacities: Dict[str, float]) -> float:
+        """This user's dominant share, normalised by its weight."""
+        share = max(
+            (self.tasks * amount) / capacities[resource]
+            for resource, amount in self.demand.items()
+        )
+        return share / self.weight
+
+
+class DrfAllocator:
+    """Progressive-filling (weighted) DRF over fixed capacities."""
+
+    def __init__(self, capacities: Dict[str, float]) -> None:
+        if not capacities or any(value <= 0 for value in capacities.values()):
+            raise ValueError("capacities must be positive")
+        self.capacities = dict(capacities)
+        self.users: Dict[str, DrfUser] = {}
+
+    def add_user(self, name: str, demand: Dict[str, float],
+                 weight: float = 1.0) -> DrfUser:
+        if name in self.users:
+            raise ValueError(f"duplicate user {name!r}")
+        if not demand:
+            raise ValueError(f"user {name!r} has an empty demand vector")
+        unknown = set(demand) - set(self.capacities)
+        if unknown:
+            raise ValueError(f"unknown resources {sorted(unknown)}")
+        if any(value <= 0 for value in demand.values()):
+            raise ValueError("demands must be positive")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        user = DrfUser(name, dict(demand), weight)
+        self.users[name] = user
+        return user
+
+    def _fits(self, used: Dict[str, float], user: DrfUser) -> bool:
+        return all(
+            used[resource] + amount <= self.capacities[resource] + 1e-9
+            for resource, amount in user.demand.items()
+        )
+
+    def allocate(self, max_tasks: Optional[int] = None) -> Dict[str, int]:
+        """Run progressive filling; returns tasks granted per user.
+
+        Repeatedly grants one task to the user with the smallest
+        (weighted) dominant share until no user's next task fits, or
+        ``max_tasks`` total tasks have been placed.
+        """
+        if not self.users:
+            return {}
+        for user in self.users.values():
+            user.tasks = 0
+        used = {resource: 0.0 for resource in self.capacities}
+        granted = 0
+        while max_tasks is None or granted < max_tasks:
+            candidates = [user for user in self.users.values()
+                          if self._fits(used, user)]
+            if not candidates:
+                break
+            chosen = min(
+                candidates,
+                key=lambda user: (user.dominant_share(self.capacities),
+                                  user.name),
+            )
+            chosen.tasks += 1
+            granted += 1
+            for resource, amount in chosen.demand.items():
+                used[resource] += amount
+        return {name: user.tasks for name, user in self.users.items()}
+
+    def dominant_shares(self) -> Dict[str, float]:
+        """Post-allocation dominant share per user (unweighted)."""
+        return {
+            name: max(
+                (user.tasks * amount) / self.capacities[resource]
+                for resource, amount in user.demand.items()
+            )
+            for name, user in self.users.items()
+        }
+
+    def utilization(self) -> Dict[str, float]:
+        """Fraction of each resource consumed by the allocation."""
+        used = {resource: 0.0 for resource in self.capacities}
+        for user in self.users.values():
+            for resource, amount in user.demand.items():
+                used[resource] += user.tasks * amount
+        return {resource: used[resource] / self.capacities[resource]
+                for resource in self.capacities}
+
+    def wfq_weights(self) -> Dict[str, float]:
+        """Scheduler weights proportional to each user's allocation."""
+        allocation = {name: user.tasks for name, user in self.users.items()}
+        total = sum(allocation.values())
+        if total == 0:
+            return {name: 1.0 for name in self.users}
+        return {name: max(tasks, 1) / total
+                for name, tasks in allocation.items()}
+
+
+def nic_capacities(n_cores: int = 56, threads_per_core: int = 8,
+                   memory_bandwidth_gbps: float = 50.0,
+                   instruction_store: int = 16 * 1024) -> Dict[str, float]:
+    """The standard resource vector of the modelled Agilio CX."""
+    return {
+        "threads": float(n_cores * threads_per_core),
+        "memory_bandwidth_gbps": memory_bandwidth_gbps,
+        "instruction_store": float(instruction_store),
+    }

@@ -1,0 +1,29 @@
+"""CLI: ``python -m repro.experiments [names...] [--fast]``.
+
+Regenerates the requested experiments (default: all) and prints the
+paper-vs-measured reports.
+"""
+
+import sys
+
+from . import ALL_EXPERIMENTS, DEFAULT_CONFIG, FAST_CONFIG
+
+
+def main(argv) -> int:
+    fast = "--fast" in argv
+    names = [arg for arg in argv if not arg.startswith("-")]
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    config = FAST_CONFIG if fast else DEFAULT_CONFIG
+    for name in names or list(ALL_EXPERIMENTS):
+        report = ALL_EXPERIMENTS[name](config)
+        print(report.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,81 @@
+"""Figure 7: average throughput in isolation (§6.3.1).
+
+Two modes, as in the paper: closed-loop with a single outstanding
+request, and parallel testing with 56 outstanding requests (the
+testbed CPU's hardware-thread count). λ-NIC should win by roughly one
+to two orders of magnitude on web/kv and ~5-15x on the image
+transformer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..serverless import Testbed, closed_loop
+from ..workloads import standard_workloads
+from .calibration import BACKENDS, DEFAULT_CONFIG, ExperimentConfig
+from .harness import Cell, ExperimentReport, run_scenario
+
+
+def run_cell(workload_name: str, backend: str, concurrency: int,
+             config: ExperimentConfig) -> Cell:
+    spec = standard_workloads()[workload_name]
+    n_requests = (config.image_throughput_requests
+                  if spec.kind == "image" else config.throughput_requests)
+    n_requests = max(n_requests, concurrency * 2)
+    tb = Testbed(seed=config.seed, n_workers=1)
+
+    def body(env):
+        result = yield closed_loop(
+            tb.env, tb.gateway, spec.name,
+            n_requests=n_requests, concurrency=concurrency,
+            payload_bytes=spec.request_bytes if spec.uses_rdma else None,
+        )
+        return result
+
+    load = run_scenario(tb, [spec], backend, body)
+    return Cell(
+        workload=workload_name,
+        backend=backend,
+        mean=load.mean_latency,
+        throughput=load.throughput_rps,
+        extra={"concurrency": concurrency, "completed": load.completed},
+    )
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """Regenerate Figure 7 (throughput at 1 and 56 threads)."""
+    config = config or DEFAULT_CONFIG
+    cells: Dict[Tuple[str, str, int], Cell] = {}
+    for workload_name in ["web_server", "kv_client", "image_transformer"]:
+        for backend in BACKENDS:
+            for concurrency in config.concurrencies:
+                cells[(workload_name, backend, concurrency)] = run_cell(
+                    workload_name, backend, concurrency, config
+                )
+
+    rows = []
+    for workload_name in ["web_server", "kv_client", "image_transformer"]:
+        for concurrency in config.concurrencies:
+            nic = cells[(workload_name, "lambda-nic", concurrency)]
+            for backend in BACKENDS:
+                cell = cells[(workload_name, backend, concurrency)]
+                rows.append([
+                    workload_name,
+                    f"{concurrency} thread" + ("s" if concurrency > 1 else ""),
+                    backend,
+                    cell.throughput,
+                    nic.throughput / cell.throughput
+                    if cell.throughput else float("inf"),
+                ])
+
+    return ExperimentReport(
+        experiment="Figure 7",
+        title="average throughput in isolation (req/s)",
+        headers=["workload", "mode", "backend", "req_per_s", "nic_speedup"],
+        rows=rows,
+        notes=[
+            "paper: lambda-nic 27x-736x faster for web/kv, 5x-15x for image",
+        ],
+        cells=cells,
+    )

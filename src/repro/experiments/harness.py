@@ -1,0 +1,101 @@
+"""Shared experiment machinery: testbed runs and report formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..serverless import Testbed
+from ..workloads import WorkloadSpec
+
+
+def run_scenario(
+    tb: Testbed,
+    specs: Sequence[WorkloadSpec],
+    backend_kind: str,
+    body: Callable,
+):
+    """Deploy ``specs`` on ``backend_kind``, then run ``body(env)``.
+
+    ``body`` is a generator function; its return value is returned.
+    """
+    tb.add_backend(backend_kind)
+
+    def scenario(env):
+        for spec in specs:
+            yield tb.manager.deploy(spec, backend_kind)
+        result = yield from body(env)
+        return result
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    return process.value
+
+
+@dataclass
+class Cell:
+    """One (workload, backend) measurement in a table/figure."""
+
+    workload: str
+    backend: str
+    mean: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+    throughput: float = 0.0
+    samples: List[float] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentReport:
+    """A formatted, paper-vs-measured experiment result."""
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: List[str] = field(default_factory=list)
+    cells: Dict[Any, Cell] = field(default_factory=dict)
+
+    def format(self) -> str:
+        widths = [len(str(h)) for h in self.headers]
+        rendered_rows = []
+        for row in self.rows:
+            rendered = [_render(value) for value in row]
+            widths = [max(w, len(r)) for w, r in zip(widths, rendered)]
+            rendered_rows.append(rendered)
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(str(h).ljust(w)
+                               for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for rendered in rendered_rows:
+            lines.append("  ".join(r.ljust(w)
+                                   for r, w in zip(rendered, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - convenience
+        print(self.format())
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        if abs(value) >= 1e-3:
+            return f"{value * 1e3:.3f}m"
+        return f"{value * 1e6:.2f}u"
+    return str(value)
+
+
+def seconds_to_ms(value: float) -> float:
+    return value * 1e3
+
+
+def mib(value_bytes: float) -> float:
+    return value_bytes / (1024.0 * 1024.0)

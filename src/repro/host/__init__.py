@@ -1,0 +1,50 @@
+"""Host server model: CPU, kernel costs, runtimes, worker node."""
+
+from .cpu import CpuStats, HostCPU
+from .params import (
+    BareMetalParams,
+    ContainerParams,
+    CpuParams,
+    HostParams,
+    KernelParams,
+)
+from .overlay import (
+    DEFAULT_COMPONENTS,
+    OverlayComponent,
+    OverlayPath,
+    host_networking_path,
+)
+from .runtime import BareMetalRuntime, ContainerRuntime, HostMemory, MIB, Runtime
+from .server import (
+    Deployment,
+    Handler,
+    HostServer,
+    RequestContext,
+    ServerStats,
+    ServiceTimeout,
+)
+
+__all__ = [
+    "BareMetalParams",
+    "BareMetalRuntime",
+    "ContainerParams",
+    "ContainerRuntime",
+    "CpuParams",
+    "CpuStats",
+    "DEFAULT_COMPONENTS",
+    "Deployment",
+    "Handler",
+    "HostCPU",
+    "HostMemory",
+    "HostParams",
+    "HostServer",
+    "KernelParams",
+    "MIB",
+    "OverlayComponent",
+    "OverlayPath",
+    "RequestContext",
+    "Runtime",
+    "ServerStats",
+    "ServiceTimeout",
+    "host_networking_path",
+]

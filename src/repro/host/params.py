@@ -1,0 +1,87 @@
+"""Host-side cost parameters.
+
+Defaults model the paper's worker nodes — two Xeon Gold 5117 (14 cores,
+2.0 GHz, 56 hardware threads total) — with software overheads set to the
+magnitudes reported in the serverless literature the paper cites:
+context switches waste "tens of milliseconds worth of CPU cycles"
+amortised (§1), kernel network stacks add tens of microseconds, and
+container overlay networking adds milliseconds (§6.3, [91]).
+
+Everything here is a dataclass so experiments can ablate each term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CpuParams:
+    """Physical CPU configuration."""
+
+    n_threads: int = 56          # 2 sockets x 14 cores x 2 SMT
+    clock_hz: float = 2.0e9
+    #: Direct + indirect (cache/TLB pollution) cost of switching a
+    #: hardware thread to a different lambda.
+    context_switch_seconds: float = 400e-6
+
+
+@dataclass
+class KernelParams:
+    """OS kernel network-stack costs per packet."""
+
+    rx_seconds: float = 15e-6    # interrupt, softirq, socket wakeup
+    tx_seconds: float = 10e-6    # syscall, qdisc, driver
+    #: CPU time consumed per packet by the kernel (accounted, not added
+    #: to latency twice).
+    cpu_per_packet_seconds: float = 5e-6
+
+
+@dataclass
+class BareMetalParams:
+    """Isolate-style bare-metal runtime (paper's Python service)."""
+
+    #: Per-request dispatch overhead (accept, demux, thread handoff).
+    dispatch_seconds: float = 60e-6
+    #: Resident memory of the runtime process + deps per workload.
+    memory_overhead_bytes: int = int(62.5 * 1024 * 1024)
+    #: Time to start the service process and import dependencies.
+    startup_base_seconds: float = 3.5
+    #: Additional start time per MiB of workload binary (unpack/import).
+    startup_per_mib_seconds: float = 0.088
+
+
+@dataclass
+class ContainerParams:
+    """Docker/Kubernetes container runtime costs."""
+
+    #: Per-request overhead: NAT/iptables, veth pair, overlay (calico),
+    #: userspace proxying — the dominant term for interactive lambdas.
+    dispatch_seconds: float = 3.8e-3
+    #: Extra CPU consumed per request by the container network path.
+    cpu_overhead_seconds: float = 250e-6
+    #: Resident memory: container image layers + engine accounting.
+    memory_overhead_bytes: int = int(219.5 * 1024 * 1024)
+    #: Compute slowdown inside the container (cgroup CPU quota and
+    #: overlay data copies on data-heavy workloads).
+    compute_multiplier: float = 1.65
+    #: Engine overhead to create/start a container.
+    startup_base_seconds: float = 12.0
+    #: Image pull/unpack time per MiB.
+    startup_per_mib_seconds: float = 0.129
+
+
+@dataclass
+class HostParams:
+    """Bundle of all host-side parameters."""
+
+    cpu: CpuParams = None
+    kernel: KernelParams = None
+    bare_metal: BareMetalParams = None
+    container: ContainerParams = None
+
+    def __post_init__(self) -> None:
+        self.cpu = self.cpu or CpuParams()
+        self.kernel = self.kernel or KernelParams()
+        self.bare_metal = self.bare_metal or BareMetalParams()
+        self.container = self.container or ContainerParams()

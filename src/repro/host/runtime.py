@@ -1,0 +1,175 @@
+"""Serverless runtimes on the host: container and bare-metal.
+
+A :class:`Runtime` contributes the per-request software overhead, the
+resident-memory overhead, and the startup behaviour of one backend type
+(paper Figure 1's layers). The numbers live in :mod:`repro.host.params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .params import BareMetalParams, ContainerParams
+
+MIB = 1024 * 1024
+
+
+class Runtime:
+    """Base runtime: zero overhead (used for raw-process ablations)."""
+
+    name = "raw"
+
+    @property
+    def dispatch_seconds(self) -> float:
+        """Per-request latency added before the workload runs."""
+        return 0.0
+
+    @property
+    def cpu_overhead_seconds(self) -> float:
+        """Extra CPU consumed per request by this runtime's plumbing."""
+        return 0.0
+
+    @property
+    def memory_overhead_bytes(self) -> int:
+        """Resident memory added per deployed workload."""
+        return 0
+
+    @property
+    def serialize_compute(self) -> bool:
+        """True if the runtime's interpreter serialises compute (GIL)."""
+        return False
+
+    @property
+    def shared_interpreter(self) -> bool:
+        """True if all workloads share one interpreter process.
+
+        The paper's bare-metal backend is a single Python service that
+        launches lambdas as threads (§6.1.1) — one GIL for everything.
+        Containers get an interpreter per container.
+        """
+        return False
+
+    @property
+    def compute_multiplier(self) -> float:
+        """Slowdown factor on workload compute (cgroup quotas, copies)."""
+        return 1.0
+
+    def package_bytes(self, code_bytes: int) -> int:
+        """Size of the deployable artifact for a workload of ``code_bytes``."""
+        return code_bytes
+
+    def startup_seconds(self, package_bytes: int) -> float:
+        """Time from deploy to serving the first request."""
+        return 0.0
+
+
+class BareMetalRuntime(Runtime):
+    """Isolate-style: workloads run as threads of a standalone service."""
+
+    name = "bare-metal"
+
+    def __init__(self, params: Optional[BareMetalParams] = None) -> None:
+        self.params = params or BareMetalParams()
+
+    @property
+    def dispatch_seconds(self) -> float:
+        return self.params.dispatch_seconds
+
+    @property
+    def memory_overhead_bytes(self) -> int:
+        return self.params.memory_overhead_bytes
+
+    @property
+    def serialize_compute(self) -> bool:
+        # The paper's bare-metal backend is a Python service: one
+        # interpreter lock serialises workload compute across threads.
+        return True
+
+    @property
+    def shared_interpreter(self) -> bool:
+        return True  # All lambdas are threads of the one service.
+
+    def package_bytes(self, code_bytes: int) -> int:
+        # setuptools + Wheel package: code plus Python deps (Table 4:
+        # 17 MiB for the image transformer).
+        return code_bytes + 16 * MIB
+
+    def startup_seconds(self, package_bytes: int) -> float:
+        return (
+            self.params.startup_base_seconds
+            + self.params.startup_per_mib_seconds * package_bytes / MIB
+        )
+
+
+class ContainerRuntime(Runtime):
+    """Docker containers behind an overlay network.
+
+    The per-request dispatch cost defaults to the flat
+    :class:`~repro.host.params.ContainerParams` number; pass an
+    :class:`~repro.host.overlay.OverlayPath` to derive it from the
+    decomposed network path instead (e.g. host-networking ablations).
+    """
+
+    name = "container"
+
+    def __init__(self, params: Optional[ContainerParams] = None,
+                 overlay=None) -> None:
+        self.params = params or ContainerParams()
+        self.overlay = overlay
+
+    @property
+    def dispatch_seconds(self) -> float:
+        if self.overlay is not None:
+            return self.overlay.dispatch_seconds
+        return self.params.dispatch_seconds
+
+    @property
+    def cpu_overhead_seconds(self) -> float:
+        if self.overlay is not None:
+            return self.overlay.cpu_seconds
+        return self.params.cpu_overhead_seconds
+
+    @property
+    def memory_overhead_bytes(self) -> int:
+        return self.params.memory_overhead_bytes
+
+    @property
+    def serialize_compute(self) -> bool:
+        return True  # Same language runtime inside the container.
+
+    @property
+    def compute_multiplier(self) -> float:
+        return self.params.compute_multiplier
+
+    def package_bytes(self, code_bytes: int) -> int:
+        # Docker image: base OS layers + language runtime + code
+        # (Table 4: 153 MiB for the image transformer).
+        return code_bytes + 152 * MIB
+
+    def startup_seconds(self, package_bytes: int) -> float:
+        return (
+            self.params.startup_base_seconds
+            + self.params.startup_per_mib_seconds * package_bytes / MIB
+        )
+
+
+@dataclass
+class HostMemory:
+    """Simple resident-memory accounting for one worker node."""
+
+    capacity_bytes: int = 32 * 1024 ** 3  # 32 GiB of DDR4, as in the testbed
+    used_bytes: int = 0
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation must be non-negative")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"host memory overflow: {self.used_bytes + nbytes} > "
+                f"{self.capacity_bytes}"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        self.used_bytes = max(0, self.used_bytes - nbytes)

@@ -1,0 +1,332 @@
+"""Host worker node: the container and bare-metal serverless backends.
+
+A :class:`HostServer` attaches to a network node and serves lambda
+requests the way the paper's baselines do: kernel network stack in and
+out, runtime dispatch overhead (container overlay / bare-metal thread
+handoff), then the workload's handler on a CPU hardware thread — paying
+context switches whenever distinct lambdas share threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..net import (
+    EthernetHeader,
+    HeaderStack,
+    IPv4Header,
+    LambdaHeader,
+    Packet,
+    RpcHeader,
+    UDPHeader,
+)
+from ..net.network import Node
+from ..sim import Environment, Resource
+from .cpu import HostCPU
+from .params import HostParams
+from .runtime import HostMemory, Runtime
+
+#: Handler protocol: a generator function taking a RequestContext and
+#: yielding simulation events (typically via ctx.compute / ctx.call).
+Handler = Callable[["RequestContext"], Generator]
+
+
+@dataclass
+class Deployment:
+    """One workload deployed on this server."""
+
+    name: str
+    wid: int
+    handler: Handler
+    runtime: Runtime
+    code_bytes: int = 1024 * 1024
+    max_workers: Optional[int] = None
+    warm: bool = False
+    semaphore: Optional[Resource] = None
+    #: Interpreter lock (GIL) shared by all requests of this deployment.
+    compute_lock: Optional[Resource] = None
+
+    @property
+    def package_bytes(self) -> int:
+        return self.runtime.package_bytes(self.code_bytes)
+
+
+@dataclass
+class ServerStats:
+    requests_served: int = 0
+    responses_sent: int = 0
+    dropped_unknown: int = 0
+    dropped_cold: int = 0
+    handler_errors: int = 0
+    latencies: List[float] = field(default_factory=list)
+    per_lambda_requests: Dict[str, int] = field(default_factory=dict)
+
+
+class RequestContext:
+    """What a workload handler gets to interact with the world."""
+
+    def __init__(self, server: "HostServer", deployment: Deployment,
+                 request: Packet) -> None:
+        self.server = server
+        self.env = server.env
+        self.deployment = deployment
+        self.request = request
+        self.response_bytes = 64
+        self.response_meta: Dict[str, Any] = {}
+
+    @property
+    def request_id(self) -> int:
+        header = self.request.headers.get("LambdaHeader")
+        return header.request_id if header else 0
+
+    def compute(self, cpu_seconds: float, gil: bool = True):
+        """Occupy a CPU hardware thread for ``cpu_seconds`` of work.
+
+        The runtime's compute multiplier is applied, and if the runtime
+        serialises compute (Python GIL), the deployment-wide interpreter
+        lock is held for the duration. Pass ``gil=False`` for work done
+        inside vectorised libraries that release the GIL (e.g. numpy
+        pixel kernels) — such work runs in parallel across threads.
+        """
+        runtime = self.deployment.runtime
+        scaled = cpu_seconds * runtime.compute_multiplier
+
+        def run():
+            if gil and self.deployment.compute_lock is not None:
+                with self.deployment.compute_lock.request() as lock:
+                    yield lock
+                    result = yield self.env.process(
+                        self.server.cpu.execute(self.deployment.name, scaled)
+                    )
+            else:
+                result = yield self.env.process(
+                    self.server.cpu.execute(self.deployment.name, scaled)
+                )
+            return result
+
+        return self.env.process(run())
+
+    def call(self, dst: str, method: str = "GET", key: str = "",
+             request_bytes: int = 64, timeout: float = 0.05, retries: int = 3):
+        """RPC to an external service; returns the response packet."""
+        return self.env.process(
+            self.server.call_service(
+                dst, method=method, key=key, request_bytes=request_bytes,
+                timeout=timeout, retries=retries,
+            )
+        )
+
+    def sleep(self, seconds: float):
+        return self.env.timeout(seconds)
+
+
+class ServiceTimeout(Exception):
+    """An external service call exhausted its retries."""
+
+
+class HostServer:
+    """A worker node running container or bare-metal backends."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        params: Optional[HostParams] = None,
+        cpu: Optional[HostCPU] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.name = node.name
+        self.params = params or HostParams()
+        self.cpu = cpu or HostCPU(env, self.params.cpu)
+        self.memory = HostMemory()
+        self.stats = ServerStats()
+        self._deployments: Dict[str, Deployment] = {}
+        self._by_wid: Dict[int, Deployment] = {}
+        self._shared_locks: Dict[str, Resource] = {}
+        self._pending: Dict[int, Any] = {}
+        self._call_ids = itertools.count(1_000_000)
+        node.attach(self.receive)
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(
+        self,
+        name: str,
+        wid: int,
+        handler: Handler,
+        runtime: Runtime,
+        code_bytes: int = 1024 * 1024,
+        max_workers: Optional[int] = None,
+        warm: bool = True,
+    ) -> Deployment:
+        """Install a workload; with ``warm=False`` it must be started."""
+        if name in self._deployments:
+            raise ValueError(f"workload {name!r} already deployed")
+        if wid in self._by_wid:
+            raise ValueError(f"wid {wid} already in use")
+        deployment = Deployment(
+            name=name, wid=wid, handler=handler, runtime=runtime,
+            code_bytes=code_bytes, max_workers=max_workers, warm=warm,
+        )
+        if max_workers is not None:
+            deployment.semaphore = Resource(self.env, capacity=max_workers)
+        if runtime.serialize_compute:
+            if runtime.shared_interpreter:
+                # One interpreter process hosts every workload of this
+                # runtime on this server: one GIL for all of them.
+                lock = self._shared_locks.get(runtime.name)
+                if lock is None:
+                    lock = Resource(self.env, capacity=1)
+                    self._shared_locks[runtime.name] = lock
+                deployment.compute_lock = lock
+            else:
+                deployment.compute_lock = Resource(self.env, capacity=1)
+        self.memory.allocate(runtime.memory_overhead_bytes)
+        self._deployments[name] = deployment
+        self._by_wid[wid] = deployment
+        return deployment
+
+    def start(self, name: str):
+        """Process: cold-start a deployment (download + boot)."""
+        deployment = self._deployments[name]
+
+        def starter():
+            yield self.env.timeout(
+                deployment.runtime.startup_seconds(deployment.package_bytes)
+            )
+            deployment.warm = True
+            return deployment
+
+        return self.env.process(starter())
+
+    def undeploy(self, name: str) -> None:
+        deployment = self._deployments.pop(name)
+        del self._by_wid[deployment.wid]
+        self.memory.free(deployment.runtime.memory_overhead_bytes)
+
+    # -- datapath --------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        header = packet.headers.get("LambdaHeader")
+        if header is not None and header.is_response and \
+                header.request_id in self._pending:
+            self._pending.pop(header.request_id).succeed(packet)
+            return
+        self.env.process(self._handle(packet))
+
+    def _handle(self, packet: Packet):
+        arrival = self.env.now
+        kernel = self.params.kernel
+        yield self.env.timeout(kernel.rx_seconds)
+        self.cpu.account("kernel", kernel.cpu_per_packet_seconds)
+
+        header = packet.headers.get("LambdaHeader")
+        deployment = self._by_wid.get(header.wid) if header is not None else None
+        if deployment is None:
+            self.stats.dropped_unknown += 1
+            return
+        if not deployment.warm:
+            self.stats.dropped_cold += 1
+            return
+
+        # Runtime plumbing: overlay network / dispatch to the lambda.
+        # For Python-based runtimes the dispatch path itself runs under
+        # the interpreter (request parse, demux), so it is CPU work
+        # under the GIL; for a raw runtime it is pure latency.
+        ctx = RequestContext(self, deployment, packet)
+        if deployment.runtime.serialize_compute:
+            yield ctx.compute(deployment.runtime.dispatch_seconds)
+        else:
+            yield self.env.timeout(deployment.runtime.dispatch_seconds)
+        if deployment.runtime.cpu_overhead_seconds:
+            self.cpu.account(
+                deployment.name, deployment.runtime.cpu_overhead_seconds
+            )
+
+        try:
+            if deployment.semaphore is not None:
+                with deployment.semaphore.request() as slot:
+                    yield slot
+                    yield from deployment.handler(ctx)
+            else:
+                yield from deployment.handler(ctx)
+        except Exception:
+            # A crashing lambda must not take the worker down: the
+            # request is dropped (the client's retry/timeout handles
+            # it) and the failure is counted.
+            self.stats.handler_errors += 1
+            return
+
+        yield self.env.timeout(kernel.tx_seconds)
+        self.cpu.account("kernel", kernel.cpu_per_packet_seconds)
+
+        self.stats.requests_served += 1
+        self.stats.per_lambda_requests[deployment.name] = (
+            self.stats.per_lambda_requests.get(deployment.name, 0) + 1
+        )
+        self.stats.latencies.append(self.env.now - arrival)
+        self._respond(packet, ctx)
+
+    def _respond(self, request: Packet, ctx: RequestContext) -> None:
+        headers = request.headers.copy()
+        header = headers.get("LambdaHeader")
+        if header is not None:
+            header.is_response = True
+        response = Packet(
+            src=self.name,
+            dst=request.src,
+            headers=headers,
+            payload_bytes=ctx.response_bytes,
+            meta={"lambda_meta": dict(ctx.response_meta)},
+        )
+        self.stats.responses_sent += 1
+        self.node.send(response)
+
+    # -- outbound service calls --------------------------------------------------
+
+    def call_service(self, dst: str, method: str = "GET", key: str = "",
+                     request_bytes: int = 64, timeout: float = 0.05,
+                     retries: int = 3):
+        """Process: RPC with sender-side tracking and retransmission.
+
+        The weakly-consistent delivery semantic of the paper (§4.2.1-D3):
+        the sender tracks outstanding RPCs and retransmits on timeout.
+        """
+        kernel = self.params.kernel
+        call_id = next(self._call_ids)
+        attempt = 0
+        while True:
+            attempt += 1
+            waiter = self.env.event()
+            self._pending[call_id] = waiter
+            yield self.env.timeout(kernel.tx_seconds)
+            self.node.send(Packet(
+                src=self.name,
+                dst=dst,
+                headers=HeaderStack([
+                    EthernetHeader(),
+                    IPv4Header(src_ip=self.name, dst_ip=dst),
+                    UDPHeader(),
+                    LambdaHeader(request_id=call_id),
+                    RpcHeader(method=method, key=key),
+                ]),
+                payload_bytes=request_bytes,
+            ))
+            result = yield self.env.any_of(
+                [waiter, self.env.timeout(timeout, value="timeout")]
+            )
+            response = None
+            for event in result.events:
+                if event is waiter:
+                    response = waiter.value
+            if response is not None:
+                yield self.env.timeout(kernel.rx_seconds)
+                return response
+            self._pending.pop(call_id, None)
+            if attempt > retries:
+                raise ServiceTimeout(
+                    f"{dst!r} did not answer after {retries} retries"
+                )

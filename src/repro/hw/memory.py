@@ -1,0 +1,60 @@
+"""NIC memory accounting across the CTM/IMEM/EMEM hierarchy.
+
+The interpreter charges per-access *cycle* costs; this module tracks
+*capacity*: how many bytes of each region a loaded firmware consumes
+(Table 3's "NIC Memory" column) and rejects over-subscription.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa import REGION_CAPACITY_BYTES, Region
+
+
+class NicMemoryError(Exception):
+    """Raised when a placement exceeds a region's capacity."""
+
+
+class NicMemory:
+    """Byte-level accounting for each memory region."""
+
+    def __init__(self, capacities: Dict[Region, int] = None) -> None:
+        self.capacities = dict(capacities or REGION_CAPACITY_BYTES)
+        self.used: Dict[Region, int] = {region: 0 for region in self.capacities}
+
+    def allocate(self, region: Region, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation must be non-negative")
+        if region is Region.FLAT:
+            # Unstratified objects live in EMEM until placed.
+            region = Region.EMEM
+        if self.used[region] + nbytes > self.capacities[region]:
+            raise NicMemoryError(
+                f"{region.value} overflow: {self.used[region] + nbytes} > "
+                f"{self.capacities[region]}"
+            )
+        self.used[region] += nbytes
+
+    def free(self, region: Region, nbytes: int) -> None:
+        if region is Region.FLAT:
+            region = Region.EMEM
+        self.used[region] = max(0, self.used[region] - nbytes)
+
+    def reset(self) -> None:
+        for region in self.used:
+            self.used[region] = 0
+
+    @property
+    def total_used_bytes(self) -> int:
+        return sum(self.used.values())
+
+    def utilization(self, region: Region) -> float:
+        capacity = self.capacities[region]
+        return self.used[region] / capacity if capacity else 0.0
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{region.value}={used}" for region, used in self.used.items() if used
+        )
+        return f"<NicMemory {parts or 'empty'}>"

@@ -1,0 +1,89 @@
+"""NPU cores: the compute fabric of the ASIC-based SmartNIC.
+
+Each core has a private instruction store, local memory, and a fixed
+number of hardware threads; lambdas run to completion on one thread
+(paper D1). A core is modelled as a capacity-``threads`` resource whose
+holders charge simulated time equal to ``cycles / clock_hz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim import Environment, Resource
+
+
+@dataclass
+class CoreStats:
+    """Per-core accounting."""
+
+    requests: int = 0
+    busy_seconds: float = 0.0
+    cycles: int = 0
+
+
+class NPUCore:
+    """One multi-threaded RISC core."""
+
+    def __init__(
+        self,
+        env: Environment,
+        core_id: int,
+        island_id: int,
+        threads: int = 8,
+        clock_hz: float = 633e6,
+    ) -> None:
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        self.env = env
+        self.core_id = core_id
+        self.island_id = island_id
+        self.threads = threads
+        self.clock_hz = clock_hz
+        self.slots = Resource(env, capacity=threads)
+        self.stats = CoreStats()
+
+    @property
+    def busy_threads(self) -> int:
+        return self.slots.count
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.slots.queue)
+
+    def execute(self, cycles: int):
+        """Process generator: occupy one thread for ``cycles``.
+
+        Run-to-completion: once started, the work is never preempted.
+        """
+        start = self.env.now
+        with self.slots.request() as slot:
+            yield slot
+            duration = cycles / self.clock_hz
+            yield self.env.timeout(duration)
+            self.stats.requests += 1
+            self.stats.cycles += cycles
+            self.stats.busy_seconds += duration
+        return self.env.now - start
+
+    def __repr__(self) -> str:
+        return (
+            f"<NPUCore {self.core_id} island={self.island_id} "
+            f"busy={self.busy_threads}/{self.threads}>"
+        )
+
+
+class Island:
+    """A cluster of cores sharing a Cluster Target Memory (CTM)."""
+
+    def __init__(self, island_id: int, ctm_bytes: int = 256 * 1024) -> None:
+        self.island_id = island_id
+        self.ctm_bytes = ctm_bytes
+        self.cores: Dict[int, NPUCore] = {}
+
+    def add_core(self, core: NPUCore) -> None:
+        self.cores[core.core_id] = core
+
+    def __repr__(self) -> str:
+        return f"<Island {self.island_id} cores={len(self.cores)}>"

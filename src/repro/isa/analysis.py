@@ -1,0 +1,174 @@
+"""Static analyses over lambda programs.
+
+These feed the workload manager's optimisations (paper §5.1):
+
+* reachability (dead-code elimination),
+* duplicate-function detection (lambda coalescing),
+* memory-access analysis (memory stratification),
+* header usage (automatic parser generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .instructions import Instruction, Op
+from .program import AccessMode, Function, LambdaProgram
+
+
+def reachable_functions(program: LambdaProgram) -> Set[str]:
+    """Function names reachable from the entry via calls."""
+    seen: Set[str] = set()
+    stack = [program.entry]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in program.functions:
+            continue
+        seen.add(name)
+        stack.extend(program.functions[name].called_functions())
+    return seen
+
+
+def unreachable_code(function: Function) -> List[int]:
+    """Indices of instructions that can never execute.
+
+    Instructions after an unconditional control transfer (``jmp``,
+    ``ret``, ``halt``, or a terminal packet op) are dead until the next
+    label (which could be a branch target).
+    """
+    dead: List[int] = []
+    unreachable = False
+    for index, instruction in enumerate(function.body):
+        if instruction.op is Op.LABEL:
+            unreachable = False
+            continue
+        if unreachable:
+            dead.append(index)
+            continue
+        if instruction.op in _TERMINATORS:
+            unreachable = True
+    return dead
+
+
+_TERMINATORS = {Op.JMP, Op.RET, Op.HALT, Op.FORWARD, Op.DROP, Op.TO_HOST}
+
+
+def function_signature(function: Function) -> Tuple:
+    """A structural fingerprint: identical bodies hash identically."""
+    return tuple(
+        (instruction.op, instruction.args)
+        for instruction in function.body
+        if instruction.is_real
+    )
+
+
+def duplicate_functions(programs: List[LambdaProgram]) -> Dict[Tuple, List[Tuple[str, str]]]:
+    """Group identical function bodies across programs.
+
+    Returns ``{signature: [(program_name, function_name), ...]}`` with
+    only groups of two or more retained — these are the candidates that
+    lambda coalescing hoists into a shared library.
+    """
+    groups: Dict[Tuple, List[Tuple[str, str]]] = {}
+    for program in programs:
+        for function in program.functions.values():
+            if function.name == program.entry:
+                continue  # Entry points are dispatch targets; never merged.
+            groups.setdefault(function_signature(function), []).append(
+                (program.name, function.name)
+            )
+    return {sig: where for sig, where in groups.items() if len(where) > 1}
+
+
+@dataclass
+class ObjectAccess:
+    """Observed access pattern of one memory object."""
+
+    name: str
+    reads: int = 0
+    writes: int = 0
+    in_loop: bool = False
+
+    @property
+    def mode(self) -> AccessMode:
+        if self.reads and self.writes:
+            return AccessMode.READ_WRITE
+        if self.writes:
+            return AccessMode.WRITE
+        return AccessMode.READ
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+def memory_access_profile(program: LambdaProgram) -> Dict[str, ObjectAccess]:
+    """Static access counts per object, with loop detection.
+
+    An access between a label and a backward jump to it is "in a loop"
+    and weighted as hot by the stratification pass.
+    """
+    profile: Dict[str, ObjectAccess] = {
+        name: ObjectAccess(name) for name in program.objects
+    }
+
+    for function in program.functions.values():
+        loop_ranges = _loop_ranges(function)
+        for index, instruction in enumerate(function.body):
+            for obj, is_write in _object_operands(instruction):
+                if obj not in profile:
+                    continue
+                access = profile[obj]
+                if is_write:
+                    access.writes += 1
+                else:
+                    access.reads += 1
+                if any(start <= index <= end for start, end in loop_ranges):
+                    access.in_loop = True
+    return profile
+
+
+def _loop_ranges(function: Function) -> List[Tuple[int, int]]:
+    labels = function.labels()
+    ranges = []
+    for index, instruction in enumerate(function.body):
+        if instruction.op in (Op.JMP, Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            target = labels.get(instruction.args[-1])
+            if target is not None and target < index:
+                ranges.append((target, index))
+    return ranges
+
+
+def _object_operands(instruction: Instruction):
+    """Yield (object_name, is_write) pairs for memory operands."""
+    op = instruction.op
+    if op in (Op.LOAD, Op.LOADD):
+        ref = instruction.args[-1]
+        if isinstance(ref, tuple) and ref[0] == "mem":
+            yield ref[1], False
+    elif op in (Op.STORE, Op.STORED):
+        ref = instruction.args[-2] if op is Op.STORE else instruction.args[0]
+        if isinstance(ref, tuple) and ref[0] == "mem":
+            yield ref[1], True
+    elif op is Op.MEMCPY:
+        dst_ref, src_ref = instruction.args[0], instruction.args[1]
+        yield dst_ref[1], True
+        yield src_ref[1], False
+    elif op is Op.INTRINSIC:
+        # Intrinsics name the objects they touch in their args by
+        # convention: ("mem", name, 0) operands.
+        for arg in instruction.args[1:]:
+            if isinstance(arg, tuple) and len(arg) == 3 and arg[0] == "mem":
+                yield arg[1], True
+
+
+def headers_used(program: LambdaProgram) -> Set[str]:
+    """Header types referenced anywhere in the program's instructions."""
+    used: Set[str] = set(program.headers_used)
+    for function in program.functions.values():
+        for instruction in function.body:
+            for arg in instruction.args:
+                if isinstance(arg, tuple) and len(arg) == 3 and arg[0] == "hdr":
+                    used.add(arg[1])
+    return used

@@ -1,0 +1,162 @@
+"""Textual assembly format for lambda IR (round-trippable).
+
+The format exists for debuggability and firmware dumps::
+
+    .lambda web_server entry=web_server
+    .object memory size=60 access=read hot
+    .func web_server
+        hload r1, ServerHdr.address
+        resolve r14, [memory+0]
+        load r2, r14, [memory+0]
+        forward
+
+Grammar is line-oriented; ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .instructions import Instruction, Op, Region, ins
+from .program import AccessMode, Function, LambdaProgram, MemoryObject
+
+
+class AsmError(ValueError):
+    """Raised for malformed assembly text."""
+
+
+def disassemble(program: LambdaProgram) -> str:
+    """Render a program as assembly text."""
+    lines = [f".lambda {program.name} entry={program.entry}"]
+    for obj in program.objects.values():
+        flags = " hot" if obj.hot else ""
+        region = f" region={obj.region.value}" if obj.region is not Region.FLAT else ""
+        lines.append(
+            f".object {obj.name} size={obj.size_bytes} "
+            f"access={obj.access.value}{region}{flags}"
+        )
+    for function in program.functions.values():
+        lines.append(f".func {function.name}")
+        for instruction in function.body:
+            lines.append(f"    {_render(instruction)}")
+    return "\n".join(lines) + "\n"
+
+
+def assemble(text: str) -> LambdaProgram:
+    """Parse assembly text back into a program."""
+    name = None
+    entry = None
+    objects: List[MemoryObject] = []
+    functions: List[Function] = []
+    current: List[Instruction] = []
+    current_name = None
+
+    def close_function():
+        nonlocal current, current_name
+        if current_name is not None:
+            functions.append(Function(current_name, current))
+        current, current_name = [], None
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".lambda"):
+            parts = line.split()
+            name = parts[1]
+            for part in parts[2:]:
+                if part.startswith("entry="):
+                    entry = part.split("=", 1)[1]
+        elif line.startswith(".object"):
+            parts = line.split()
+            obj_name = parts[1]
+            size = None
+            access = AccessMode.READ_WRITE
+            hot = False
+            region = Region.FLAT
+            for part in parts[2:]:
+                if part.startswith("size="):
+                    size = int(part.split("=", 1)[1])
+                elif part.startswith("access="):
+                    access = AccessMode(part.split("=", 1)[1])
+                elif part.startswith("region="):
+                    region = Region(part.split("=", 1)[1])
+                elif part == "hot":
+                    hot = True
+            if size is None:
+                raise AsmError(f"object {obj_name!r} missing size=")
+            objects.append(MemoryObject(obj_name, size, access, hot, region))
+        elif line.startswith(".func"):
+            close_function()
+            current_name = line.split()[1]
+        else:
+            if current_name is None:
+                raise AsmError(f"instruction outside .func: {line!r}")
+            current.append(_parse_instruction(line))
+    close_function()
+    if name is None:
+        raise AsmError("missing .lambda directive")
+    program = LambdaProgram(name, functions, objects, entry=entry)
+    program.validate()
+    return program
+
+
+def _render(instruction: Instruction) -> str:
+    parts = [instruction.op.value]
+    rendered = [_render_arg(arg) for arg in instruction.args]
+    return parts[0] + (" " + ", ".join(rendered) if rendered else "")
+
+
+def _render_arg(arg: Any) -> str:
+    if isinstance(arg, tuple):
+        kind = arg[0]
+        if kind == "mem":
+            return f"[{arg[1]}+{_render_arg(arg[2])}]"
+        if kind == "hdr":
+            return f"{arg[1]}.{arg[2]}"
+        if kind == "meta":
+            return f"meta.{arg[1]}"
+        raise AsmError(f"cannot render operand {arg!r}")
+    return str(arg)
+
+
+def _parse_instruction(line: str) -> Instruction:
+    mnemonic, _, rest = line.partition(" ")
+    try:
+        op = Op(mnemonic)
+    except ValueError:
+        raise AsmError(f"unknown opcode {mnemonic!r}") from None
+    args = []
+    if rest.strip():
+        for token in _split_args(rest):
+            args.append(_parse_arg(token.strip()))
+    return ins(op, *args)
+
+
+def _split_args(rest: str) -> List[str]:
+    # Commas inside brackets do not occur in this format, so a simple
+    # split suffices.
+    return [token for token in rest.split(",") if token.strip()]
+
+
+def _parse_arg(token: str) -> Any:
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1]
+        obj, _, offset = inner.partition("+")
+        return ("mem", obj, _parse_arg(offset or "0"))
+    if token.startswith("meta."):
+        return ("meta", token[len("meta."):])
+    if "." in token and not _is_number(token):
+        header, _, field_name = token.partition(".")
+        return ("hdr", header, field_name)
+    if _is_number(token):
+        return int(token) if "." not in token else float(token)
+    return token  # register or label name
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,202 @@
+"""Fluent construction of lambda programs.
+
+The builder is the "Micro-C compiler front-end" of the reproduction:
+workload authors use it the way the paper's users write Micro-C, and it
+emits the naive (unoptimised) IR — e.g. every memory access goes through
+the flat address space via an explicit ``resolve`` instruction, exactly
+what the memory-stratification pass later improves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from .instructions import Instruction, Op, ins
+from .program import AccessMode, Function, LambdaProgram, MemoryObject
+
+
+class FunctionBuilder:
+    """Accumulates instructions for one function."""
+
+    def __init__(self, program_builder: "ProgramBuilder", name: str) -> None:
+        self._program_builder = program_builder
+        self.name = name
+        self._body: List[Instruction] = []
+        self._label_counter = itertools.count(1)
+
+    # -- raw emission -------------------------------------------------------
+
+    def emit(self, op: Op, *args: Any) -> "FunctionBuilder":
+        self._body.append(ins(op, *args))
+        return self
+
+    def raw(self, instructions: List[Instruction]) -> "FunctionBuilder":
+        self._body.extend(instructions)
+        return self
+
+    # -- ALU ----------------------------------------------------------------
+
+    def mov(self, dst: str, src: Any) -> "FunctionBuilder":
+        return self.emit(Op.MOV, dst, src)
+
+    def add(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.ADD, dst, a, b)
+
+    def sub(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.SUB, dst, a, b)
+
+    def mul(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.MUL, dst, a, b)
+
+    def band(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.AND, dst, a, b)
+
+    def bor(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.OR, dst, a, b)
+
+    def xor(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.XOR, dst, a, b)
+
+    def shr(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.SHR, dst, a, b)
+
+    def shl(self, dst: str, a: Any, b: Any) -> "FunctionBuilder":
+        return self.emit(Op.SHL, dst, a, b)
+
+    # -- control flow ---------------------------------------------------------
+
+    def fresh_label(self, hint: str = "L") -> str:
+        return f"{self.name}_{hint}{next(self._label_counter)}"
+
+    def label(self, name: str) -> "FunctionBuilder":
+        return self.emit(Op.LABEL, name)
+
+    def jmp(self, label: str) -> "FunctionBuilder":
+        return self.emit(Op.JMP, label)
+
+    def beq(self, a: Any, b: Any, label: str) -> "FunctionBuilder":
+        return self.emit(Op.BEQ, a, b, label)
+
+    def bne(self, a: Any, b: Any, label: str) -> "FunctionBuilder":
+        return self.emit(Op.BNE, a, b, label)
+
+    def blt(self, a: Any, b: Any, label: str) -> "FunctionBuilder":
+        return self.emit(Op.BLT, a, b, label)
+
+    def bge(self, a: Any, b: Any, label: str) -> "FunctionBuilder":
+        return self.emit(Op.BGE, a, b, label)
+
+    def call(self, function_name: str) -> "FunctionBuilder":
+        return self.emit(Op.CALL, function_name)
+
+    def ret(self, value: Any = None) -> "FunctionBuilder":
+        if value is None:
+            return self.emit(Op.RET)
+        return self.emit(Op.RET, value)
+
+    # -- memory (always flat at build time) -----------------------------------
+
+    def load(self, dst: str, obj: str, offset: Any = 0,
+             addr_reg: str = "r14") -> "FunctionBuilder":
+        """Flat-memory load: resolve + load (2 instructions, naive form)."""
+        self.emit(Op.RESOLVE, addr_reg, ("mem", obj, offset))
+        return self.emit(Op.LOAD, dst, addr_reg, ("mem", obj, offset))
+
+    def store(self, obj: str, offset: Any, src: Any,
+              addr_reg: str = "r14") -> "FunctionBuilder":
+        """Flat-memory store: resolve + store (2 instructions, naive form)."""
+        self.emit(Op.RESOLVE, addr_reg, ("mem", obj, offset))
+        return self.emit(Op.STORE, addr_reg, ("mem", obj, offset), src)
+
+    def memcpy(self, dst_obj: str, dst_off: Any, src_obj: str, src_off: Any,
+               length: Any) -> "FunctionBuilder":
+        return self.emit(
+            Op.MEMCPY, ("mem", dst_obj, dst_off), ("mem", src_obj, src_off), length
+        )
+
+    # -- headers / metadata / packet -------------------------------------------
+
+    def hload(self, dst: str, header: str, field_name: str) -> "FunctionBuilder":
+        self._program_builder._note_header(header)
+        return self.emit(Op.HLOAD, dst, ("hdr", header, field_name))
+
+    def hstore(self, header: str, field_name: str, src: Any) -> "FunctionBuilder":
+        self._program_builder._note_header(header)
+        return self.emit(Op.HSTORE, ("hdr", header, field_name), src)
+
+    def mload(self, dst: str, key: str) -> "FunctionBuilder":
+        return self.emit(Op.MLOAD, dst, ("meta", key))
+
+    def mstore(self, key: str, src: Any) -> "FunctionBuilder":
+        return self.emit(Op.MSTORE, ("meta", key), src)
+
+    def emit_packet(self) -> "FunctionBuilder":
+        return self.emit(Op.EMIT)
+
+    def forward(self) -> "FunctionBuilder":
+        return self.emit(Op.FORWARD)
+
+    def drop(self) -> "FunctionBuilder":
+        return self.emit(Op.DROP)
+
+    def to_host(self) -> "FunctionBuilder":
+        return self.emit(Op.TO_HOST)
+
+    def hash(self, dst: str, src: Any) -> "FunctionBuilder":
+        return self.emit(Op.HASH, dst, src)
+
+    def crc(self, dst: str, src: Any) -> "FunctionBuilder":
+        return self.emit(Op.CRC, dst, src)
+
+    def nop(self, count: int = 1) -> "FunctionBuilder":
+        for _ in range(count):
+            self.emit(Op.NOP)
+        return self
+
+    def build(self) -> Function:
+        return Function(self.name, list(self._body))
+
+
+class ProgramBuilder:
+    """Builds a complete :class:`LambdaProgram`."""
+
+    def __init__(self, name: str, entry: Optional[str] = None) -> None:
+        self.name = name
+        self.entry = entry or name
+        self._functions: List[Function] = []
+        self._objects: List[MemoryObject] = []
+        self._headers: List[str] = []
+
+    def _note_header(self, header: str) -> None:
+        if header not in self._headers:
+            self._headers.append(header)
+
+    def function(self, name: str) -> FunctionBuilder:
+        """Open a builder for a new function; call ``close`` to add it."""
+        return FunctionBuilder(self, name)
+
+    def close(self, function_builder: FunctionBuilder) -> "ProgramBuilder":
+        self._functions.append(function_builder.build())
+        return self
+
+    def object(
+        self,
+        name: str,
+        size_bytes: int,
+        access: AccessMode = AccessMode.READ_WRITE,
+        hot: bool = False,
+    ) -> "ProgramBuilder":
+        self._objects.append(MemoryObject(name, size_bytes, access, hot))
+        return self
+
+    def build(self) -> LambdaProgram:
+        program = LambdaProgram(
+            self.name,
+            functions=self._functions,
+            objects=self._objects,
+            entry=self.entry,
+            headers_used=self._headers,
+        )
+        program.validate()
+        return program

@@ -1,0 +1,369 @@
+"""Executable semantics for lambda programs.
+
+The interpreter runs a :class:`~repro.isa.program.LambdaProgram` against
+a parsed packet (header fields + match metadata) and produces a
+:class:`ExecutionResult` that includes the exact cycle count — the NPU
+model turns cycles into simulated time. Memory objects are real
+bytearrays, so lambdas like the web server genuinely move bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .instructions import (
+    BASE_CYCLES,
+    Instruction,
+    Op,
+    REGION_ACCESS_CYCLES,
+    Region,
+    is_register,
+)
+from .program import LambdaProgram
+
+
+class ExecutionError(Exception):
+    """Raised for runtime faults inside a lambda (bad operand, OOB, …)."""
+
+
+class IsolationError(ExecutionError):
+    """A lambda touched memory outside its own objects (paper §4.2.1-D2)."""
+
+
+#: Packet verdicts a lambda can end with.
+VERDICT_FORWARD = "forward"
+VERDICT_DROP = "drop"
+VERDICT_TO_HOST = "to_host"
+VERDICT_FALLTHROUGH = "fallthrough"  # returned without a packet op
+
+#: Hard cap so buggy lambdas cannot hang the simulation.
+DEFAULT_STEP_LIMIT = 2_000_000
+
+#: Bytes moved per DMA burst by bulk operations (memcpy, intrinsics).
+BULK_BURST_BYTES = 64
+
+
+@dataclass
+class EmittedPacket:
+    """Record of an ``emit`` executed by the lambda."""
+
+    headers: Dict[str, Dict[str, Any]]
+    meta: Dict[str, Any]
+    payload: bytes = b""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one lambda invocation."""
+
+    verdict: str
+    return_value: Any
+    cycles: int
+    instructions_executed: int
+    region_accesses: Dict[Region, int] = field(default_factory=dict)
+    emitted: List[EmittedPacket] = field(default_factory=list)
+    headers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    response_payload: bytes = b""
+
+    def time_seconds(self, clock_hz: float) -> float:
+        """Wall-clock duration of this execution at ``clock_hz``."""
+        return self.cycles / clock_hz
+
+
+#: An intrinsic receives (machine, args) and returns extra cycles.
+IntrinsicFn = Callable[["Machine", Tuple[Any, ...]], int]
+
+_INTRINSICS: Dict[str, IntrinsicFn] = {}
+
+
+def register_intrinsic(name: str, fn: IntrinsicFn) -> None:
+    """Register a bulk operation usable via ``Op.INTRINSIC``."""
+    _INTRINSICS[name] = fn
+
+
+def intrinsic_registered(name: str) -> bool:
+    return name in _INTRINSICS
+
+
+class Machine:
+    """Mutable execution state for one lambda invocation."""
+
+    def __init__(
+        self,
+        program: LambdaProgram,
+        headers: Optional[Dict[str, Dict[str, Any]]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        memory: Optional[Dict[str, bytearray]] = None,
+    ) -> None:
+        self.program = program
+        self.registers: Dict[str, int] = {f"r{i}": 0 for i in range(16)}
+        self.headers = headers if headers is not None else {}
+        self.meta = meta if meta is not None else {}
+        # Persistent memory may be passed in (global objects persist
+        # across runs, paper §4.1); otherwise allocate fresh zeroed
+        # objects of the declared sizes.
+        if memory is None:
+            memory = {
+                obj.name: bytearray(obj.size_bytes)
+                for obj in program.objects.values()
+            }
+        self.memory = memory
+        self.response_payload: bytes = b""
+        self.emitted: List[EmittedPacket] = []
+
+    # -- operand access ----------------------------------------------------
+
+    def read(self, operand: Any) -> Any:
+        if is_register(operand):
+            return self.registers[operand]
+        if isinstance(operand, (int, float)):
+            return operand
+        if isinstance(operand, str):
+            # Non-register strings are literal values (e.g. route names
+            # stored into metadata by lowered table actions).
+            return operand
+        if isinstance(operand, tuple):
+            kind = operand[0]
+            if kind == "hdr":
+                return self.read_header(operand[1], operand[2])
+            if kind == "meta":
+                return self.meta.get(operand[1], 0)
+        raise ExecutionError(f"cannot read operand {operand!r}")
+
+    def write_register(self, operand: Any, value: Any) -> None:
+        if not is_register(operand):
+            raise ExecutionError(f"destination {operand!r} is not a register")
+        self.registers[operand] = value
+
+    def read_header(self, header: str, field_name: str) -> Any:
+        try:
+            return self.headers[header][field_name]
+        except KeyError:
+            raise ExecutionError(
+                f"header field {header}.{field_name} not present"
+            ) from None
+
+    def write_header(self, header: str, field_name: str, value: Any) -> None:
+        self.headers.setdefault(header, {})[field_name] = value
+
+    # -- memory ------------------------------------------------------------
+
+    def _object_bytes(self, name: str) -> bytearray:
+        try:
+            return self.memory[name]
+        except KeyError:
+            raise IsolationError(
+                f"lambda {self.program.name!r} accessed foreign object {name!r}"
+            ) from None
+
+    def load_word(self, obj: str, offset: int) -> int:
+        data = self._object_bytes(obj)
+        if offset < 0 or offset + 8 > len(data) + 7:
+            raise ExecutionError(f"load out of bounds: {obj}[{offset}]")
+        chunk = bytes(data[offset:offset + 8])
+        return int.from_bytes(chunk.ljust(8, b"\x00"), "little")
+
+    def store_word(self, obj: str, offset: int, value: int) -> None:
+        data = self._object_bytes(obj)
+        if offset < 0 or offset >= len(data):
+            raise ExecutionError(f"store out of bounds: {obj}[{offset}]")
+        width = min(8, len(data) - offset)
+        data[offset:offset + width] = (value & (2 ** (8 * width) - 1)).to_bytes(
+            width, "little"
+        )
+
+
+class Interpreter:
+    """Executes lambda programs to completion with cycle accounting."""
+
+    def __init__(self, clock_hz: float = 633e6,
+                 step_limit: int = DEFAULT_STEP_LIMIT) -> None:
+        self.clock_hz = clock_hz
+        self.step_limit = step_limit
+
+    def run(
+        self,
+        program: LambdaProgram,
+        headers: Optional[Dict[str, Dict[str, Any]]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        memory: Optional[Dict[str, bytearray]] = None,
+        entry: Optional[str] = None,
+    ) -> ExecutionResult:
+        machine = Machine(program, headers, meta, memory)
+        entry_name = entry or program.entry
+        function = program.function(entry_name)
+
+        region_accesses: Dict[Region, int] = {}
+        cycles = 0
+        executed = 0
+        verdict = VERDICT_FALLTHROUGH
+        return_value: Any = None
+
+        # Call stack of (function, labels, pc).
+        frame = [function, function.labels(), 0]
+        stack: List[list] = []
+
+        def region_of(obj_name: str) -> Region:
+            return program.object(obj_name).region
+
+        def charge_access(region: Region, words: int = 1) -> int:
+            region_accesses[region] = region_accesses.get(region, 0) + words
+            return REGION_ACCESS_CYCLES[region] * words
+
+        while True:
+            function, labels, pc = frame
+            if pc >= len(function.body):
+                # Fell off the end of a function: implicit return.
+                if stack:
+                    frame = stack.pop()
+                    continue
+                break
+            if executed >= self.step_limit:
+                raise ExecutionError(
+                    f"step limit {self.step_limit} exceeded in "
+                    f"{program.name!r} (runaway lambda?)"
+                )
+            instruction = function.body[pc]
+            frame[2] = pc + 1
+            op = instruction.op
+            args = instruction.args
+            if op is Op.LABEL:
+                continue
+            executed += 1
+            cycles += BASE_CYCLES[op]
+
+            if op in _ALU_OPS:
+                a = machine.read(args[1])
+                b = machine.read(args[2]) if len(args) > 2 else None
+                machine.write_register(args[0], _ALU_OPS[op](a, b))
+            elif op is Op.MOV:
+                machine.write_register(args[0], machine.read(args[1]))
+            elif op is Op.JMP:
+                frame[2] = labels[args[0]]
+            elif op in _BRANCH_OPS:
+                if _BRANCH_OPS[op](machine.read(args[0]), machine.read(args[1])):
+                    frame[2] = labels[args[2]]
+            elif op is Op.CALL:
+                stack.append(frame)
+                callee = program.function(args[0])
+                frame = [callee, callee.labels(), 0]
+            elif op is Op.RET:
+                if args:
+                    return_value = machine.read(args[0])
+                    machine.registers["r0"] = return_value
+                if stack:
+                    frame = stack.pop()
+                else:
+                    break
+            elif op is Op.HALT:
+                break
+            elif op is Op.NOP:
+                pass
+            elif op is Op.RESOLVE:
+                _, obj, offset = args[1]
+                machine.write_register(
+                    args[0], ("addr", obj, machine.read(offset))
+                )
+            elif op in (Op.LOAD, Op.LOADD):
+                memref = args[-1]
+                _, obj, offset = memref
+                offset_value = machine.read(offset)
+                cycles += charge_access(region_of(obj))
+                machine.write_register(args[0], machine.load_word(obj, offset_value))
+            elif op in (Op.STORE, Op.STORED):
+                memref = args[-2] if op is Op.STORE else args[0]
+                _, obj, offset = memref
+                offset_value = machine.read(offset)
+                cycles += charge_access(region_of(obj))
+                machine.store_word(obj, offset_value, machine.read(args[-1]))
+            elif op is Op.MEMCPY:
+                dst_ref, src_ref, length = args
+                _, dst_obj, dst_off = dst_ref
+                _, src_obj, src_off = src_ref
+                n = machine.read(length)
+                dst_off_v = machine.read(dst_off)
+                src_off_v = machine.read(src_off)
+                # Bulk copies go through the DMA engine in 64 B bursts,
+                # paying one access charge per burst rather than per word.
+                bursts = max(1, math.ceil(n / BULK_BURST_BYTES))
+                cycles += charge_access(region_of(src_obj), bursts)
+                cycles += charge_access(region_of(dst_obj), bursts)
+                src_bytes = machine._object_bytes(src_obj)
+                dst_bytes = machine._object_bytes(dst_obj)
+                if src_off_v + n > len(src_bytes) or dst_off_v + n > len(dst_bytes):
+                    raise ExecutionError("memcpy out of bounds")
+                dst_bytes[dst_off_v:dst_off_v + n] = src_bytes[src_off_v:src_off_v + n]
+            elif op is Op.HLOAD:
+                _, header, field_name = args[1]
+                machine.write_register(args[0], machine.read_header(header, field_name))
+            elif op is Op.HSTORE:
+                _, header, field_name = args[0]
+                machine.write_header(header, field_name, machine.read(args[1]))
+            elif op is Op.MLOAD:
+                machine.write_register(args[0], machine.meta.get(args[1][1], 0))
+            elif op is Op.MSTORE:
+                machine.meta[args[0][1]] = machine.read(args[1])
+            elif op is Op.EMIT:
+                machine.emitted.append(
+                    EmittedPacket(
+                        headers={k: dict(v) for k, v in machine.headers.items()},
+                        meta=dict(machine.meta),
+                        payload=machine.response_payload,
+                    )
+                )
+            elif op is Op.FORWARD:
+                verdict = VERDICT_FORWARD
+                break
+            elif op is Op.DROP:
+                verdict = VERDICT_DROP
+                break
+            elif op is Op.TO_HOST:
+                verdict = VERDICT_TO_HOST
+                break
+            elif op in (Op.HASH, Op.CRC):
+                value = machine.read(args[1])
+                machine.write_register(args[0], hash((op.value, value)) & 0xFFFFFFFF)
+            elif op is Op.INTRINSIC:
+                name = args[0]
+                fn = _INTRINSICS.get(name)
+                if fn is None:
+                    raise ExecutionError(f"unknown intrinsic {name!r}")
+                cycles += fn(machine, args[1:])
+            else:  # pragma: no cover - every op is handled above
+                raise ExecutionError(f"unhandled opcode {op!r}")
+
+        return ExecutionResult(
+            verdict=verdict,
+            return_value=return_value,
+            cycles=cycles,
+            instructions_executed=executed,
+            region_accesses=region_accesses,
+            emitted=machine.emitted,
+            headers=machine.headers,
+            meta=machine.meta,
+            response_payload=machine.response_payload,
+        )
+
+
+_ALU_OPS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: a << b,
+    Op.SHR: lambda a, b: a >> b,
+    Op.MIN: lambda a, b: min(a, b),
+    Op.MAX: lambda a, b: max(a, b),
+}
+
+_BRANCH_OPS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}

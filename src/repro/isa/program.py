@@ -1,0 +1,176 @@
+"""Lambda programs: functions, memory objects, and whole-program metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from .instructions import INSTRUCTION_BYTES, Instruction, Op, Region
+
+
+class AccessMode(str, Enum):
+    """Declared access pattern of a memory object (paper §4, point 2)."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+
+@dataclass
+class MemoryObject:
+    """A named object in the lambda's flat virtual address space.
+
+    ``hot`` is the user pragma from the paper (§4.2.1-D2): a hint that
+    the object is accessed frequently and deserves close memory.
+    ``region`` starts FLAT; memory stratification assigns a real region.
+    """
+
+    name: str
+    size_bytes: int
+    access: AccessMode = AccessMode.READ_WRITE
+    hot: bool = False
+    region: Region = Region.FLAT
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"object {self.name!r} must have positive size")
+
+
+@dataclass
+class Function:
+    """A named sequence of instructions (a lambda body or helper)."""
+
+    name: str
+    body: List[Instruction] = field(default_factory=list)
+
+    @property
+    def instruction_count(self) -> int:
+        """Real instructions only (labels are assembler fictions)."""
+        return sum(1 for instruction in self.body if instruction.is_real)
+
+    def labels(self) -> Dict[str, int]:
+        """Map from label name to body index."""
+        return {
+            instruction.args[0]: index
+            for index, instruction in enumerate(self.body)
+            if instruction.op is Op.LABEL
+        }
+
+    def called_functions(self) -> List[str]:
+        return [
+            instruction.args[0]
+            for instruction in self.body
+            if instruction.op is Op.CALL
+        ]
+
+
+class LambdaProgram:
+    """One lambda: an entry function, helpers, and memory objects.
+
+    This is the compiled form of one Micro-C top-level function
+    (Listing 1/2 in the paper) together with its global objects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        functions: Optional[Iterable[Function]] = None,
+        objects: Optional[Iterable[MemoryObject]] = None,
+        entry: Optional[str] = None,
+        headers_used: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        for function in functions or ():
+            self.add_function(function)
+        self.objects: Dict[str, MemoryObject] = {}
+        for obj in objects or ():
+            self.add_object(obj)
+        self.entry = entry or name
+        #: Header types this lambda touches; used by the framework to
+        #: auto-generate the parser (paper contribution #3).
+        self.headers_used: List[str] = list(headers_used or [])
+
+    def add_function(self, function: Function) -> None:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+
+    def add_object(self, obj: MemoryObject) -> None:
+        if obj.name in self.objects:
+            raise ValueError(f"duplicate object {obj.name!r}")
+        self.objects[obj.name] = obj
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"{self.name!r} has no function {name!r}") from None
+
+    def object(self, name: str) -> MemoryObject:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise KeyError(f"{self.name!r} has no object {name!r}") from None
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count for f in self.functions.values())
+
+    @property
+    def code_bytes(self) -> int:
+        return self.instruction_count * INSTRUCTION_BYTES
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(obj.size_bytes for obj in self.objects.values())
+
+    def copy(self) -> "LambdaProgram":
+        """Deep copy (instructions are immutable and shared)."""
+        clone = LambdaProgram(self.name, entry=self.entry,
+                              headers_used=list(self.headers_used))
+        for function in self.functions.values():
+            clone.add_function(Function(function.name, list(function.body)))
+        for obj in self.objects.values():
+            clone.add_object(
+                MemoryObject(obj.name, obj.size_bytes, obj.access, obj.hot, obj.region)
+            )
+        return clone
+
+    def validate(self) -> None:
+        """Check intra-program references (calls, labels, objects)."""
+        if self.entry not in self.functions:
+            raise ValueError(f"entry function {self.entry!r} not defined")
+        for function in self.functions.values():
+            labels = function.labels()
+            for instruction in function.body:
+                if instruction.op is Op.CALL:
+                    callee = instruction.args[0]
+                    if callee not in self.functions:
+                        raise ValueError(
+                            f"{function.name!r} calls undefined {callee!r}"
+                        )
+                if instruction.op in (Op.JMP, Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+                    label = instruction.args[-1]
+                    if label not in labels:
+                        raise ValueError(
+                            f"{function.name!r} jumps to undefined label {label!r}"
+                        )
+                for operand in instruction.args:
+                    if (
+                        isinstance(operand, tuple)
+                        and len(operand) == 3
+                        and operand[0] == "mem"
+                        and operand[1] not in self.objects
+                    ):
+                        raise ValueError(
+                            f"{function.name!r} references undefined object "
+                            f"{operand[1]!r}"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LambdaProgram {self.name!r} funcs={len(self.functions)} "
+            f"instrs={self.instruction_count} objects={len(self.objects)}>"
+        )

@@ -1,0 +1,13 @@
+"""memcached-like cache server and client."""
+
+from .client import MemcachedClient
+from .server import CacheStats, MemcachedServer, STATUS_ERROR, STATUS_MISS, STATUS_OK
+
+__all__ = [
+    "CacheStats",
+    "MemcachedClient",
+    "MemcachedServer",
+    "STATUS_ERROR",
+    "STATUS_MISS",
+    "STATUS_OK",
+]

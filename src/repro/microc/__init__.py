@@ -1,0 +1,74 @@
+"""Micro-C: the restricted C-like language for authoring lambdas.
+
+This is the front-end the paper's users write against (§4.1, Listings
+1-2): a C subset with integer arithmetic, global arrays in the flat
+virtual address space, header/metadata accessors, and NIC builtins —
+compiled straight to the lambda IR::
+
+    from repro.microc import compile_microc
+
+    program = compile_microc('''
+        #pragma hot counts
+        uint64_t counts[16];
+
+        int counter() {
+            int idx = hdr.LambdaHeader.request_id & 15;
+            counts[idx] = counts[idx] + 1;
+            meta.count = counts[idx];
+            reply(64);
+            return 0;
+        }
+    ''')
+
+The resulting :class:`~repro.isa.program.LambdaProgram` deploys like
+any other workload (see ``examples/microc_lambda.py``).
+"""
+
+from .ast import (
+    Assign,
+    BinOp,
+    Call,
+    FuncDef,
+    GlobalArray,
+    HeaderField,
+    If,
+    Index,
+    MetaField,
+    Number,
+    Program,
+    Return,
+    Var,
+    VarDecl,
+    While,
+)
+from .codegen import Compiler, compile_microc
+from .errors import CodegenError, LexError, MicroCError, ParseError
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Call",
+    "CodegenError",
+    "Compiler",
+    "FuncDef",
+    "GlobalArray",
+    "HeaderField",
+    "If",
+    "Index",
+    "LexError",
+    "MetaField",
+    "MicroCError",
+    "Number",
+    "ParseError",
+    "Program",
+    "Return",
+    "Token",
+    "Var",
+    "VarDecl",
+    "While",
+    "compile_microc",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,145 @@
+"""Abstract syntax tree for Micro-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Element widths of the supported integer types.
+TYPE_BYTES = {
+    "uint8_t": 1,
+    "uint16_t": 2,
+    "uint32_t": 4,
+    "uint64_t": 8,
+    "int": 8,
+    "void": 0,
+}
+
+
+class Node:
+    """Base class for AST nodes."""
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Number(Node):
+    value: int
+
+
+@dataclass
+class Var(Node):
+    name: str
+
+
+@dataclass
+class HeaderField(Node):
+    """``hdr.LambdaHeader.request_id``"""
+
+    header: str
+    field_name: str
+
+
+@dataclass
+class MetaField(Node):
+    """``meta.response_bytes``"""
+
+    key: str
+
+
+@dataclass
+class Index(Node):
+    """``array[index]`` over a global object."""
+
+    array: str
+    index: Node
+
+
+@dataclass
+class BinOp(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class Call(Node):
+    """A call to another function or a builtin."""
+
+    name: str
+    args: List[Node] = field(default_factory=list)
+
+
+# -- statements -------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    type_name: str
+    name: str
+    value: Optional[Node] = None
+
+
+@dataclass
+class Assign(Node):
+    target: Node  # Var | HeaderField | MetaField | Index
+    value: Node
+
+
+@dataclass
+class If(Node):
+    op: str            # relational operator
+    left: Node
+    right: Node
+    then: List[Node] = field(default_factory=list)
+    orelse: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    op: str
+    left: Node
+    right: Node
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class ExprStatement(Node):
+    expr: Node
+
+
+# -- declarations ------------------------------------------------------------
+
+
+@dataclass
+class GlobalArray(Node):
+    """``uint8_t memory[4096];`` — a persistent flat-memory object."""
+
+    type_name: str
+    name: str
+    length: int
+    hot: bool = False
+    read_only: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return TYPE_BYTES[self.type_name] * self.length
+
+
+@dataclass
+class FuncDef(Node):
+    return_type: str
+    name: str
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalArray] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,29 @@
+"""Compiler diagnostics for the Micro-C front-end."""
+
+from __future__ import annotations
+
+
+class MicroCError(Exception):
+    """Base class for all Micro-C front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        location = f" (line {line}:{column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(MicroCError):
+    """Invalid character or malformed token."""
+
+
+class ParseError(MicroCError):
+    """Syntactically invalid program."""
+
+
+class CodegenError(MicroCError):
+    """Valid syntax that the restricted target cannot express.
+
+    NPUs lack floating point, recursion, and dynamic allocation (paper
+    §3.1b); the code generator rejects programs that need them.
+    """

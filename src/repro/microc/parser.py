@@ -1,0 +1,280 @@
+"""Recursive-descent parser for Micro-C.
+
+Grammar (restricted C subset — see the package docstring):
+
+    program    := (pragma | global | funcdef)*
+    pragma     := '#pragma' ('hot' | 'readonly') ident
+    global     := type ident '[' number ']' ';'
+    funcdef    := type ident '(' ')' block
+    block      := '{' statement* '}'
+    statement  := vardecl | if | while | return ';'
+                | assignment ';' | call ';'
+    vardecl    := type ident ('=' expr)? ';'
+    if         := 'if' '(' cond ')' block ('else' (block | if))?
+    while      := 'while' '(' cond ')' block
+    cond       := expr relop expr
+    expr       := binary expression over | ^ & << >> + - * / %
+    primary    := number | lvalue | call | '(' expr ')'
+    lvalue     := ident | ident '[' expr ']'
+                | 'hdr' '.' ident '.' ident | 'meta' '.' ident
+
+Conditions are single relational comparisons — the restriction that
+keeps codegen a direct mapping onto NPU branch instructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    Assign,
+    BinOp,
+    Call,
+    ExprStatement,
+    FuncDef,
+    GlobalArray,
+    HeaderField,
+    If,
+    Index,
+    MetaField,
+    Node,
+    Number,
+    Program,
+    Return,
+    TYPE_BYTES,
+    Var,
+    VarDecl,
+    While,
+)
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+RELOPS = {"==", "!=", "<", "<=", ">", ">="}
+
+#: Binary operator precedence (higher binds tighter).
+PRECEDENCE = {
+    "|": 1, "^": 2, "&": 3,
+    "<<": 4, ">>": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+TYPES = set(TYPE_BYTES)
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(message, token.line, token.column)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.check(kind, value):
+            want = value or kind
+            raise self.error(f"expected {want!r}, got {self.current.value!r}")
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        pending_hot: set = set()
+        pending_readonly: set = set()
+        while not self.check("eof"):
+            if self.check("pragma"):
+                text = self.advance().value.split()
+                if len(text) == 2 and text[0] == "hot":
+                    pending_hot.add(text[1])
+                elif len(text) == 2 and text[0] == "readonly":
+                    pending_readonly.add(text[1])
+                else:
+                    raise self.error(f"unknown pragma {' '.join(text)!r}")
+                continue
+            if not self.check("keyword") or self.current.value not in TYPES:
+                raise self.error("expected a type at top level")
+            type_name = self.advance().value
+            name = self.expect("ident").value
+            if self.accept("op", "["):
+                length_token = self.expect("number")
+                self.expect("op", "]")
+                self.expect("op", ";")
+                program.globals.append(GlobalArray(
+                    type_name=type_name,
+                    name=name,
+                    length=int(length_token.value, 0),
+                    hot=name in pending_hot,
+                    read_only=name in pending_readonly,
+                ))
+            elif self.check("op", "("):
+                program.functions.append(self.parse_funcdef(type_name, name))
+            else:
+                raise self.error(
+                    "top-level declarations must be arrays or functions"
+                )
+        return program
+
+    def parse_funcdef(self, return_type: str, name: str) -> FuncDef:
+        self.expect("op", "(")
+        if not self.check("op", ")"):
+            raise self.error(
+                "Micro-C lambdas take no parameters: state arrives via "
+                "headers, metadata, and global objects (Listing 1)"
+            )
+        self.expect("op", ")")
+        return FuncDef(return_type, name, self.parse_block())
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_block(self) -> List[Node]:
+        self.expect("op", "{")
+        statements: List[Node] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise self.error("unterminated block")
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return statements
+
+    def parse_statement(self) -> Node:
+        if self.check("keyword") and self.current.value in TYPES:
+            return self.parse_vardecl()
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "while"):
+            return self.parse_while()
+        if self.accept("keyword", "return"):
+            value = None if self.check("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return Return(value)
+        # assignment or expression (call) statement
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (Var, Index, HeaderField, MetaField)):
+                raise self.error("invalid assignment target")
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return Assign(expr, value)
+        self.expect("op", ";")
+        return ExprStatement(expr)
+
+    def parse_vardecl(self) -> VarDecl:
+        type_name = self.advance().value
+        if type_name == "void":
+            raise self.error("cannot declare a void variable")
+        name = self.expect("ident").value
+        if self.check("op", "["):
+            raise self.error(
+                "local arrays are not supported; declare a global object"
+            )
+        value = None
+        if self.accept("op", "="):
+            value = self.parse_expr()
+        self.expect("op", ";")
+        return VarDecl(type_name, name, value)
+
+    def parse_condition(self):
+        left = self.parse_expr()
+        token = self.current
+        if token.kind != "op" or token.value not in RELOPS:
+            raise self.error(
+                "conditions must be a single comparison (a RELOP b)"
+            )
+        op = self.advance().value
+        right = self.parse_expr()
+        return op, left, right
+
+    def parse_if(self) -> If:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        op, left, right = self.parse_condition()
+        self.expect("op", ")")
+        then = self.parse_block()
+        orelse: List[Node] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                orelse = [self.parse_if()]
+            else:
+                orelse = self.parse_block()
+        return If(op, left, right, then, orelse)
+
+    def parse_while(self) -> While:
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        op, left, right = self.parse_condition()
+        self.expect("op", ")")
+        return While(op, left, right, self.parse_block())
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expr(self, min_precedence: int = 1) -> Node:
+        left = self.parse_primary()
+        while (
+            self.current.kind == "op"
+            and self.current.value in PRECEDENCE
+            and PRECEDENCE[self.current.value] >= min_precedence
+        ):
+            op = self.advance().value
+            right = self.parse_expr(PRECEDENCE[op] + 1)
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_primary(self) -> Node:
+        if self.check("number"):
+            return Number(int(self.advance().value, 0))
+        if self.accept("op", "("):
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if self.check("ident"):
+            name = self.advance().value
+            if name == "hdr" and self.accept("op", "."):
+                header = self.expect("ident").value
+                self.expect("op", ".")
+                field_name = self.expect("ident").value
+                return HeaderField(header, field_name)
+            if name == "meta" and self.accept("op", "."):
+                key = self.expect("ident").value
+                return MetaField(key)
+            if self.accept("op", "("):
+                args: List[Node] = []
+                while not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+                return Call(name, args)
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return Index(name, index)
+            return Var(name)
+        raise self.error(f"unexpected token {self.current.value!r}")
+
+
+def parse(source: str) -> Program:
+    """Parse Micro-C source into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,45 @@
+"""Network substrate: packets, headers, links, switch, topology."""
+
+from .headers import (
+    EthernetHeader,
+    Header,
+    HeaderStack,
+    IPv4Header,
+    LambdaHeader,
+    RdmaHeader,
+    RpcHeader,
+    STANDARD_HEADERS,
+    ServerHdr,
+    TCPHeader,
+    UDPHeader,
+    header_class,
+)
+from .link import Link, LinkStats
+from .network import Network, Node, TEN_GBPS
+from .packet import Packet
+from .switch import Switch
+from .trace import PacketTracer, TraceRecord
+
+__all__ = [
+    "EthernetHeader",
+    "Header",
+    "HeaderStack",
+    "IPv4Header",
+    "LambdaHeader",
+    "Link",
+    "LinkStats",
+    "Network",
+    "Node",
+    "Packet",
+    "PacketTracer",
+    "RdmaHeader",
+    "RpcHeader",
+    "STANDARD_HEADERS",
+    "ServerHdr",
+    "Switch",
+    "TCPHeader",
+    "TEN_GBPS",
+    "TraceRecord",
+    "UDPHeader",
+    "header_class",
+]

@@ -1,0 +1,204 @@
+"""Packet header machinery and the standard header stack.
+
+Headers are lightweight field containers with a declared byte size, so
+packet sizes (and thus serialization delays) are accounted for exactly.
+The λ-NIC gateway prepends a :class:`LambdaHeader` carrying the workload
+ID that the NIC's match stage dispatches on (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import ClassVar
+
+
+@dataclass
+class Header:
+    """Base class for all headers; subclasses declare ``BYTES``."""
+
+    BYTES: ClassVar[int] = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.BYTES
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def field_names(self) -> list:
+        return [f.name for f in fields(self)]
+
+
+@dataclass
+class EthernetHeader(Header):
+    """L2 header."""
+
+    BYTES: ClassVar[int] = 14
+    src_mac: str = ""
+    dst_mac: str = ""
+    ethertype: int = 0x0800
+
+
+@dataclass
+class IPv4Header(Header):
+    """L3 header (options-free)."""
+
+    BYTES: ClassVar[int] = 20
+    src_ip: str = ""
+    dst_ip: str = ""
+    protocol: int = 17
+    ttl: int = 64
+
+
+@dataclass
+class UDPHeader(Header):
+    """L4 datagram header."""
+
+    BYTES: ClassVar[int] = 8
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = 0
+
+
+@dataclass
+class TCPHeader(Header):
+    """L4 stream header (used only by host-backend cost modelling)."""
+
+    BYTES: ClassVar[int] = 20
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+
+
+@dataclass
+class LambdaHeader(Header):
+    """λ-NIC dispatch header inserted by the gateway (paper §4.1).
+
+    ``wid`` selects the lambda in the NIC's match stage. ``request_id``
+    pairs responses with requests; ``seq``/``total_segments`` support
+    multi-packet RPCs that are reordered on the NIC (paper fn. 3).
+    """
+
+    BYTES: ClassVar[int] = 16
+    wid: int = 0
+    request_id: int = 0
+    seq: int = 0
+    total_segments: int = 1
+    is_response: bool = False
+
+
+@dataclass
+class RpcHeader(Header):
+    """Application RPC header: method + tiny key/value scratch fields."""
+
+    BYTES: ClassVar[int] = 24
+    method: str = ""
+    key: str = ""
+    status: int = 0
+
+
+@dataclass
+class RdmaHeader(Header):
+    """RoCEv2-style RDMA write header (BTH + RETH, abbreviated)."""
+
+    BYTES: ClassVar[int] = 28
+    opcode: str = "WRITE"
+    remote_address: int = 0
+    length: int = 0
+    qp: int = 0
+
+
+@dataclass
+class ServerHdr(Header):
+    """The web-server workload's response-address header (Listing 2)."""
+
+    BYTES: ClassVar[int] = 8
+    address: int = 0
+
+
+STANDARD_HEADERS = (
+    EthernetHeader,
+    IPv4Header,
+    UDPHeader,
+    TCPHeader,
+    LambdaHeader,
+    RpcHeader,
+    RdmaHeader,
+    ServerHdr,
+)
+
+_BY_NAME = {cls.__name__: cls for cls in STANDARD_HEADERS}
+
+
+def header_class(name: str) -> type:
+    """Look up a standard header class by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown header type {name!r}") from None
+
+
+class HeaderStack:
+    """An ordered collection of headers with name-based access."""
+
+    def __init__(self, headers=()) -> None:
+        self._headers = list(headers)
+
+    def push(self, header: Header) -> None:
+        """Append ``header`` as the innermost header."""
+        self._headers.append(header)
+
+    def insert_after(self, name: str, header: Header) -> None:
+        """Insert ``header`` right after the header named ``name``."""
+        for index, existing in enumerate(self._headers):
+            if existing.name == name:
+                self._headers.insert(index + 1, header)
+                return
+        raise KeyError(f"no header named {name!r}")
+
+    def get(self, name: str):
+        """The first header of type ``name``, or None."""
+        for header in self._headers:
+            if header.name == name:
+                return header
+        return None
+
+    def require(self, name: str) -> Header:
+        """The first header of type ``name``; raises if absent."""
+        header = self.get(name)
+        if header is None:
+            raise KeyError(f"packet has no {name} header")
+        return header
+
+    def remove(self, name: str) -> Header:
+        """Remove and return the first header of type ``name``."""
+        for index, existing in enumerate(self._headers):
+            if existing.name == name:
+                return self._headers.pop(index)
+        raise KeyError(f"no header named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self):
+        return iter(self._headers)
+
+    def __len__(self) -> int:
+        return len(self._headers)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(header.size_bytes for header in self._headers)
+
+    def copy(self) -> "HeaderStack":
+        """Shallow-ish copy: header objects are re-instantiated."""
+        import copy as _copy
+
+        return HeaderStack([_copy.copy(header) for header in self._headers])
+
+    def __repr__(self) -> str:
+        names = "/".join(header.name for header in self._headers)
+        return f"<HeaderStack {names}>"

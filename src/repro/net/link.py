@@ -1,0 +1,149 @@
+"""Point-to-point links with bandwidth, propagation delay, and loss.
+
+A :class:`Link` joins two endpoints. Each direction has its own transmit
+queue and serializer process, so the link models both serialization
+delay (``size_bits / bandwidth``) and propagation delay, plus optional
+random drop for failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Environment, Store
+from .packet import Packet
+
+
+class LinkStats:
+    """Per-direction counters."""
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkStats sent={self.packets_sent} bytes={self.bytes_sent} "
+            f"dropped={self.packets_dropped}>"
+        )
+
+
+class _Direction:
+    """One direction of a full-duplex link."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        deliver: Callable[[Packet], None],
+        drop_probability: float,
+        rng,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.deliver = deliver
+        self.drop_probability = drop_probability
+        self.rng = rng
+        self.queue: Store = Store(env)
+        self.stats = LinkStats()
+        env.process(self._serializer())
+
+    def _serializer(self):
+        while True:
+            packet = yield self.queue.get()
+            if self.drop_probability > 0 and self.rng is not None:
+                if self.rng.random() < self.drop_probability:
+                    self.stats.packets_dropped += 1
+                    continue
+            yield self.env.timeout(packet.size_bits / self.bandwidth_bps)
+            self.stats.packets_sent += 1
+            self.stats.bytes_sent += packet.size_bytes
+            # Propagation happens "in flight": schedule delivery without
+            # blocking the serializer for the next packet.
+            self.env.process(self._propagate(packet))
+
+    def _propagate(self, packet: Packet):
+        yield self.env.timeout(self.propagation_delay)
+        packet.stamp(self.name, self.env.now)
+        self.deliver(packet)
+
+
+class Link:
+    """A full-duplex link between endpoints ``a`` and ``b``.
+
+    ``deliver_a`` / ``deliver_b`` are callables invoked when a packet
+    arrives at the respective endpoint.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        a: str,
+        b: str,
+        bandwidth_bps: float = 10e9,
+        propagation_delay: float = 500e-9,
+        drop_probability: float = 0.0,
+        rng=None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        if drop_probability > 0 and rng is None:
+            raise ValueError("a drop probability requires an rng")
+        self.env = env
+        self.a = a
+        self.b = b
+        self._deliver_a: Optional[Callable[[Packet], None]] = None
+        self._deliver_b: Optional[Callable[[Packet], None]] = None
+        self._ab = _Direction(
+            env, f"{a}->{b}", bandwidth_bps, propagation_delay,
+            self._to_b, drop_probability, rng,
+        )
+        self._ba = _Direction(
+            env, f"{b}->{a}", bandwidth_bps, propagation_delay,
+            self._to_a, drop_probability, rng,
+        )
+
+    def attach(self, endpoint: str, deliver: Callable[[Packet], None]) -> None:
+        """Register the receive callback for one endpoint."""
+        if endpoint == self.a:
+            self._deliver_a = deliver
+        elif endpoint == self.b:
+            self._deliver_b = deliver
+        else:
+            raise ValueError(f"{endpoint!r} is not an endpoint of this link")
+
+    def send(self, from_endpoint: str, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission from ``from_endpoint``."""
+        if from_endpoint == self.a:
+            self._ab.queue.put(packet)
+        elif from_endpoint == self.b:
+            self._ba.queue.put(packet)
+        else:
+            raise ValueError(f"{from_endpoint!r} is not an endpoint of this link")
+
+    def stats(self, from_endpoint: str) -> LinkStats:
+        """Transmit-direction counters for ``from_endpoint``."""
+        if from_endpoint == self.a:
+            return self._ab.stats
+        if from_endpoint == self.b:
+            return self._ba.stats
+        raise ValueError(f"{from_endpoint!r} is not an endpoint of this link")
+
+    def _to_a(self, packet: Packet) -> None:
+        if self._deliver_a is None:
+            raise RuntimeError(f"no receiver attached at {self.a!r}")
+        self._deliver_a(packet)
+
+    def _to_b(self, packet: Packet) -> None:
+        if self._deliver_b is None:
+            raise RuntimeError(f"no receiver attached at {self.b!r}")
+        self._deliver_b(packet)

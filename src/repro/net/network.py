@@ -1,0 +1,107 @@
+"""Topology builder: nodes connected through a single switch.
+
+This mirrors the paper's testbed (Figure 5): a master plus worker nodes
+all connected to one 10 G switch. Nodes register a receive handler; the
+:class:`Network` wires links both ways and exposes a uniform ``send``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim import Environment
+from .link import Link
+from .packet import Packet
+from .switch import Switch
+
+#: Default link speed in the paper's testbed.
+TEN_GBPS = 10e9
+
+
+class Node:
+    """A network endpoint (host NIC port or SmartNIC port)."""
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        self.handler: Optional[Callable[[Packet], None]] = None
+        self.rx_packets = 0
+        self.tx_packets = 0
+
+    def attach(self, handler: Callable[[Packet], None]) -> None:
+        """Set the callable invoked for every packet addressed here."""
+        self.handler = handler
+
+    def send(self, packet: Packet) -> None:
+        """Transmit a packet into the network."""
+        self.tx_packets += 1
+        self.network.send_from(self.name, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.rx_packets += 1
+        if self.handler is None:
+            raise RuntimeError(f"node {self.name!r} has no handler attached")
+        self.handler(packet)
+
+
+class Network:
+    """A star topology around one switch, as in the paper's testbed."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float = TEN_GBPS,
+        propagation_delay: float = 500e-9,
+        switching_latency: float = 800e-9,
+        drop_probability: float = 0.0,
+        rng=None,
+    ) -> None:
+        self.env = env
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.drop_probability = drop_probability
+        self.rng = rng
+        self.switch = Switch(env, switching_latency=switching_latency)
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[str, Link] = {}
+
+    def add_node(self, name: str) -> Node:
+        """Create a node and cable it to the switch."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = Node(self, name)
+        link = Link(
+            self.env,
+            a=name,
+            b=self.switch.name,
+            bandwidth_bps=self.bandwidth_bps,
+            propagation_delay=self.propagation_delay,
+            drop_probability=self.drop_probability,
+            rng=self.rng,
+        )
+        link.attach(name, node._deliver)
+        self.switch.attach_link(link, peer=name)
+        self._nodes[name] = node
+        self._links[name] = link
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    @property
+    def nodes(self) -> list:
+        return sorted(self._nodes)
+
+    def send_from(self, src: str, packet: Packet) -> None:
+        """Inject ``packet`` onto ``src``'s uplink towards the switch."""
+        if src not in self._links:
+            raise KeyError(f"unknown node {src!r}")
+        packet.stamp(src, self.env.now)
+        self._links[src].send(src, packet)
+
+    def link_stats(self, name: str):
+        """Uplink (node->switch) transmit stats for ``name``."""
+        return self._links[name].stats(name)

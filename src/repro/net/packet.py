@@ -1,0 +1,82 @@
+"""Packets: the unit of transfer on links and through switches."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from .headers import HeaderStack
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """A simulated network packet.
+
+    ``payload`` is an arbitrary Python object (bytes for realism, or a
+    structured value); ``payload_bytes`` is its on-wire size and is what
+    serialization delay is computed from. ``trace`` accumulates
+    (location, time) pairs for latency accounting in tests.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "src",
+        "dst",
+        "headers",
+        "payload",
+        "payload_bytes",
+        "meta",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        headers: Optional[HeaderStack] = None,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.headers = headers if headers is not None else HeaderStack()
+        self.payload = payload
+        self.payload_bytes = int(payload_bytes)
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.trace: List[Tuple[str, float]] = []
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-wire size: headers plus payload."""
+        return self.headers.size_bytes + self.payload_bytes
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+    def stamp(self, location: str, now: float) -> None:
+        """Record that the packet was at ``location`` at time ``now``."""
+        self.trace.append((location, now))
+
+    def copy(self) -> "Packet":
+        """A new packet (fresh id) with copied headers and metadata."""
+        clone = Packet(
+            src=self.src,
+            dst=self.dst,
+            headers=self.headers.copy(),
+            payload=self.payload,
+            payload_bytes=self.payload_bytes,
+            meta=dict(self.meta),
+        )
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.packet_id} {self.src}->{self.dst} "
+            f"{self.size_bytes}B {self.headers!r}>"
+        )

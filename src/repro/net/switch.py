@@ -1,0 +1,71 @@
+"""A store-and-forward Ethernet switch (the testbed's Arista DCS-7124S).
+
+The switch receives packets from attached links, looks up the egress
+port by destination node name, charges a fixed switching latency, and
+forwards out of per-port FIFO queues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import Environment, Store
+from .link import Link
+from .packet import Packet
+
+
+class SwitchStats:
+    def __init__(self) -> None:
+        self.packets_forwarded = 0
+        self.packets_flooded = 0
+        self.packets_dropped_unknown = 0
+
+
+class Switch:
+    """A named switch with a destination-keyed forwarding table."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "switch",
+        switching_latency: float = 800e-9,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.switching_latency = switching_latency
+        self._links: Dict[str, Link] = {}  # peer node -> link
+        self._table: Dict[str, str] = {}  # dst node -> peer node (port)
+        self._pipeline: Store = Store(env)
+        self.stats = SwitchStats()
+        env.process(self._forwarder())
+
+    def attach_link(self, link: Link, peer: str) -> None:
+        """Attach a link whose far endpoint is node ``peer``."""
+        self._links[peer] = link
+        link.attach(self.name, self._receive)
+        self._table[peer] = peer
+
+    def add_route(self, dst: str, via_peer: str) -> None:
+        """Route packets for ``dst`` out of the port facing ``via_peer``."""
+        if via_peer not in self._links:
+            raise ValueError(f"no port towards {via_peer!r}")
+        self._table[dst] = via_peer
+
+    @property
+    def ports(self) -> list:
+        return sorted(self._links)
+
+    def _receive(self, packet: Packet) -> None:
+        self._pipeline.put(packet)
+
+    def _forwarder(self):
+        while True:
+            packet = yield self._pipeline.get()
+            yield self.env.timeout(self.switching_latency)
+            peer = self._table.get(packet.dst)
+            if peer is None:
+                self.stats.packets_dropped_unknown += 1
+                continue
+            packet.stamp(self.name, self.env.now)
+            self.stats.packets_forwarded += 1
+            self._links[peer].send(self.name, packet)

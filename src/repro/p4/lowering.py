@@ -1,0 +1,146 @@
+"""Lowering P4 constructs to NPU instructions.
+
+Two strategies exist for tables, matching the paper's "match reduction"
+discussion (§5.1):
+
+* :func:`lower_table_naive` — a modelled hardware-style lookup: per
+  lookup the key is loaded, a table-engine invocation is charged, and
+  the result metadata is written. Costs scale with key width and carry
+  fixed per-table overhead.
+* :func:`lower_table_if_else` — the optimised form: the table becomes a
+  chain of compare-and-branch instructions, which NPU cores execute
+  more efficiently and which removes the per-table engine overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from ..isa import Function, Instruction, Op, ins
+from .control import (
+    ApplyTable,
+    ControlBlock,
+    Drop,
+    Forward,
+    IfFieldEq,
+    IfValid,
+    InvokeLambda,
+    SendToHost,
+    Statement,
+)
+from .tables import Table
+
+#: Registers reserved by lowered match-stage code.
+_KEY_REGS = ["r8", "r9", "r10", "r11"]
+#: Fixed modelled overhead of a table-engine invocation (naive path):
+#: issue + wait + result unpack.
+_TABLE_ENGINE_OVERHEAD = 6
+
+_label_ids = itertools.count(1)
+
+
+def _fresh(prefix: str) -> str:
+    return f"{prefix}_{next(_label_ids)}"
+
+
+def lower_table_naive(table: Table) -> List[Instruction]:
+    """Hardware-lookup-style lowering (pre-match-reduction)."""
+    body: List[Instruction] = []
+    for index, (header, field_name) in enumerate(table.keys):
+        body.append(ins(Op.HLOAD, _KEY_REGS[index % len(_KEY_REGS)],
+                        ("hdr", header, field_name)))
+    # Table-engine invocation overhead.
+    for _ in range(_TABLE_ENGINE_OVERHEAD):
+        body.append(ins(Op.NOP))
+    # The engine still resolves to per-entry metadata writes; model the
+    # result demux as a compare chain over the loaded key.
+    body.extend(_entry_compare_chain(table, label_prefix=f"{table.name}_naive"))
+    return body
+
+
+def lower_table_if_else(table: Table) -> List[Instruction]:
+    """If-else lowering (post-match-reduction): no engine overhead."""
+    body: List[Instruction] = []
+    for index, (header, field_name) in enumerate(table.keys):
+        body.append(ins(Op.HLOAD, _KEY_REGS[index % len(_KEY_REGS)],
+                        ("hdr", header, field_name)))
+    body.extend(_entry_compare_chain(table, label_prefix=f"{table.name}_ifelse"))
+    return body
+
+
+def _entry_compare_chain(table: Table, label_prefix: str) -> List[Instruction]:
+    body: List[Instruction] = []
+    end = _fresh(f"{label_prefix}_end")
+    for entry_index, entry in enumerate(table.entries):
+        next_entry = _fresh(f"{label_prefix}_n{entry_index}")
+        for key_index, key_value in enumerate(entry.key):
+            body.append(
+                ins(Op.BNE, _KEY_REGS[key_index % len(_KEY_REGS)], key_value,
+                    next_entry)
+            )
+        action = table.actions[entry.action]
+        for write_key in action.writes:
+            body.append(
+                ins(Op.MSTORE, ("meta", write_key), entry.params[write_key])
+            )
+        body.append(ins(Op.MSTORE, ("meta", f"{table.name}_hit"), 1))
+        body.append(ins(Op.JMP, end))
+        body.append(ins(Op.LABEL, next_entry))
+    if table.default_action is not None:
+        body.append(ins(Op.MSTORE, ("meta", f"{table.name}_hit"), 0))
+    body.append(ins(Op.LABEL, end))
+    return body
+
+
+def lower_control(
+    control: ControlBlock,
+    name: str = "match_dispatch",
+    use_if_else_tables: bool = False,
+) -> Function:
+    """Lower a control block into a single dispatch function."""
+    body: List[Instruction] = []
+    _lower_statements(control.statements, body, use_if_else_tables)
+    body.append(ins(Op.TO_HOST))  # Fallthrough: unmatched traffic to host.
+    return Function(name, body)
+
+
+def _lower_statements(statements: List[Statement], body: List[Instruction],
+                      use_if_else_tables: bool) -> None:
+    for statement in statements:
+        if isinstance(statement, IfValid):
+            orelse = _fresh("ctl_else")
+            end = _fresh("ctl_end")
+            body.append(ins(Op.MLOAD, "r13",
+                            ("meta", f"valid_{statement.header}")))
+            body.append(ins(Op.BEQ, "r13", 0, orelse))
+            _lower_statements(statement.then, body, use_if_else_tables)
+            body.append(ins(Op.JMP, end))
+            body.append(ins(Op.LABEL, orelse))
+            _lower_statements(statement.orelse, body, use_if_else_tables)
+            body.append(ins(Op.LABEL, end))
+        elif isinstance(statement, IfFieldEq):
+            orelse = _fresh("ctl_else")
+            end = _fresh("ctl_end")
+            body.append(ins(Op.HLOAD, "r13",
+                            ("hdr", statement.header, statement.field_name)))
+            body.append(ins(Op.BNE, "r13", statement.value, orelse))
+            _lower_statements(statement.then, body, use_if_else_tables)
+            body.append(ins(Op.JMP, end))
+            body.append(ins(Op.LABEL, orelse))
+            _lower_statements(statement.orelse, body, use_if_else_tables)
+            body.append(ins(Op.LABEL, end))
+        elif isinstance(statement, ApplyTable):
+            lower = lower_table_if_else if use_if_else_tables else lower_table_naive
+            body.extend(lower(statement.table))
+        elif isinstance(statement, InvokeLambda):
+            body.append(ins(Op.CALL, statement.name))
+            body.append(ins(Op.FORWARD))
+        elif isinstance(statement, SendToHost):
+            body.append(ins(Op.TO_HOST))
+        elif isinstance(statement, Forward):
+            body.append(ins(Op.FORWARD))
+        elif isinstance(statement, Drop):
+            body.append(ins(Op.DROP))
+        else:
+            raise TypeError(f"cannot lower statement {statement!r}")

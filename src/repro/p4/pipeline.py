@@ -1,0 +1,106 @@
+"""P4 pipelines: parser + tables + control, plus the standard λ-NIC
+dispatch pipeline built from a lambda-ID mapping (Listing 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .control import (
+    ApplyTable,
+    ControlBlock,
+    IfFieldEq,
+    IfValid,
+    InvokeLambda,
+    SendToHost,
+)
+from .parser import ParserSpec, generate_parser
+from .tables import Action, Table
+
+
+class P4Pipeline:
+    """A parser plus ingress control block."""
+
+    def __init__(self, parser: ParserSpec, control: ControlBlock) -> None:
+        self.parser = parser
+        self.control = control
+
+    @property
+    def tables(self) -> List[Table]:
+        return self.control.tables()
+
+    def __repr__(self) -> str:
+        return (
+            f"<P4Pipeline headers={len(self.parser.states)} "
+            f"tables={len(self.tables)} lambdas={len(self.control.invoked_lambdas())}>"
+        )
+
+
+def make_route_table(name: str, wid: int, port: str) -> Table:
+    """The naive per-lambda route-management table (paper §6.4).
+
+    Each newly deployed lambda brings its own single-entry route table;
+    match reduction later merges these into one shared table.
+    """
+    table = Table(
+        name,
+        keys=[("LambdaHeader", "wid")],
+        actions=[Action("set_route", writes=("route_port",))],
+    )
+    table.add_entry((wid,), "set_route", {"route_port": port})
+    return table
+
+
+def merge_route_tables(tables: Sequence[Table], name: str = "routes") -> Table:
+    """Match reduction: one table with per-entry parameter values."""
+    merged = Table(
+        name,
+        keys=[("LambdaHeader", "wid")],
+        actions=[Action("set_route", writes=("route_port",))],
+        default_action=None,
+    )
+    for table in tables:
+        for entry in table.entries:
+            merged.add_entry(entry.key, "set_route", entry.params)
+    return merged
+
+
+def build_dispatch_pipeline(
+    lambda_ids: Dict[str, int],
+    headers_used: Sequence[str],
+    route_ports: Optional[Dict[str, str]] = None,
+    merged_routes: bool = False,
+) -> P4Pipeline:
+    """Build the Listing-3 dispatch pipeline.
+
+    ``lambda_ids`` maps lambda name -> workload ID (assigned by the
+    workload manager). In the naive pipeline every lambda carries its
+    own route table; with ``merged_routes`` a single shared table is
+    applied up front.
+    """
+    parser = generate_parser(headers_used)
+    route_ports = route_ports or {}
+
+    statements: List = []
+    route_tables = [
+        make_route_table(f"route_{name}", wid, route_ports.get(name, "p0"))
+        for name, wid in lambda_ids.items()
+    ]
+
+    dispatch: List = []
+    if merged_routes and route_tables:
+        dispatch.append(ApplyTable(merge_route_tables(route_tables)))
+
+    # Nested wid comparisons, innermost-first construction.
+    chain: List = [SendToHost()]
+    for index, (name, wid) in enumerate(sorted(lambda_ids.items(), key=lambda kv: kv[1])):
+        then: List = []
+        if not merged_routes:
+            then.append(ApplyTable(route_tables[list(lambda_ids).index(name)]))
+        then.append(InvokeLambda(name))
+        chain = [IfFieldEq("LambdaHeader", "wid", wid, then=then, orelse=chain)]
+    dispatch.extend(chain)
+
+    statements.append(
+        IfValid("LambdaHeader", then=dispatch, orelse=[SendToHost()])
+    )
+    return P4Pipeline(parser, ControlBlock(statements))

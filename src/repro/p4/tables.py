@@ -1,0 +1,118 @@
+"""Match-action tables (the "Match" of Match+Lambda).
+
+Tables are declared P4-style — a key of header fields, entries mapping
+key values to actions — and are either looked up directly (host-side
+gateway) or lowered to if-else instruction sequences for NPU cores
+(paper §5.1, "match reduction": NIC cores execute if-else chains more
+efficiently than table lookups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..net.headers import header_class
+
+
+class P4Error(ValueError):
+    """Raised for malformed P4 constructs."""
+
+
+#: A key component: (header type name, field name).
+KeyField = Tuple[str, str]
+
+
+@dataclass
+class Action:
+    """A named action that writes metadata when a table entry matches."""
+
+    name: str
+    #: Metadata keys this action writes; entry params supply the values.
+    writes: Tuple[str, ...] = ()
+
+    def apply(self, params: Dict[str, Any], meta: Dict[str, Any]) -> None:
+        for key in self.writes:
+            if key not in params:
+                raise P4Error(f"action {self.name!r} missing param {key!r}")
+            meta[key] = params[key]
+
+
+@dataclass
+class TableEntry:
+    """One row: key values (in key-field order) -> action + params."""
+
+    key: Tuple[Any, ...]
+    action: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+class Table:
+    """A P4 match-action table with exact-match semantics."""
+
+    def __init__(
+        self,
+        name: str,
+        keys: Sequence[KeyField],
+        actions: Sequence[Action],
+        default_action: Optional[str] = None,
+    ) -> None:
+        if not keys:
+            raise P4Error(f"table {name!r} needs at least one key field")
+        self.name = name
+        self.keys = list(keys)
+        self.actions = {action.name: action for action in actions}
+        self.default_action = default_action
+        self.entries: List[TableEntry] = []
+        self._validate_keys()
+
+    def _validate_keys(self) -> None:
+        for header_name, field_name in self.keys:
+            cls = header_class(header_name)  # raises KeyError for unknown
+            if field_name not in [f.name for f in dataclass_fields(cls)]:
+                raise P4Error(
+                    f"table {self.name!r}: {header_name} has no field {field_name!r}"
+                )
+
+    def add_entry(self, key: Sequence[Any], action: str,
+                  params: Optional[Dict[str, Any]] = None) -> None:
+        if len(key) != len(self.keys):
+            raise P4Error(
+                f"table {self.name!r}: entry key arity {len(key)} != {len(self.keys)}"
+            )
+        if action not in self.actions:
+            raise P4Error(f"table {self.name!r}: unknown action {action!r}")
+        self.entries.append(TableEntry(tuple(key), action, dict(params or {})))
+
+    def lookup(
+        self, headers: Dict[str, Dict[str, Any]], meta: Dict[str, Any]
+    ) -> Optional[str]:
+        """Exact-match the packet; apply the hit (or default) action.
+
+        Returns the name of the action applied, or None on a total miss.
+        """
+        key = []
+        for header_name, field_name in self.keys:
+            header = headers.get(header_name)
+            if header is None:
+                key = None
+                break
+            key.append(header.get(field_name))
+        if key is not None:
+            key = tuple(key)
+            for entry in self.entries:
+                if entry.key == key:
+                    self.actions[entry.action].apply(entry.params, meta)
+                    return entry.action
+        if self.default_action is not None:
+            self.actions[self.default_action].apply({}, meta)
+            return self.default_action
+        return None
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        keys = ",".join(f"{h}.{f}" for h, f in self.keys)
+        return f"<Table {self.name} key=({keys}) entries={self.size}>"

@@ -1,0 +1,220 @@
+"""Textual P4 parser for match-stage snippets (paper Listing 3).
+
+Users express the match stage in P4; this parser accepts the paper's
+control-block subset — nested ``if (valid(hdr))`` / field comparisons
+and ``apply(...)`` statements — and produces a
+:class:`~repro.p4.control.ControlBlock`. The workload manager supplies
+the constant bindings (``WEB_SERVER_ID`` etc., §4.1: IDs are assigned
+at compile time and populated into the P4 code).
+
+The paper's own Listing 3 parses verbatim::
+
+    control ingress {
+        if (valid(lambda_hdr)) {
+            if (lambda_hdr.wId == WEB_SERVER_ID) {
+                apply(web_server);
+                apply(return_web_server_results);
+            } else if (lambda_hdr.wId == OTHER_LAMBDA_ID) {
+                apply(other_lambda);
+                apply(return_other_lambda_results);
+            }
+        } else { apply(send_pkt_to_host); }
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..microc.errors import ParseError
+from ..microc.lexer import Token, tokenize
+from .control import (
+    ApplyTable,
+    ControlBlock,
+    Drop,
+    Forward,
+    IfFieldEq,
+    IfValid,
+    InvokeLambda,
+    SendToHost,
+    Statement,
+)
+from .tables import Table
+
+#: The paper's header/field spellings mapped onto our header types.
+DEFAULT_HEADER_ALIASES = {
+    "lambda_hdr": "LambdaHeader",
+    "rpc_hdr": "RpcHeader",
+    "rdma_hdr": "RdmaHeader",
+    "udp": "UDPHeader",
+    "ipv4": "IPv4Header",
+    "ethernet": "EthernetHeader",
+}
+DEFAULT_FIELD_ALIASES = {
+    "wId": "wid",
+    "reqId": "request_id",
+    "isResponse": "is_response",
+}
+
+#: apply() targets with built-in meaning.
+_SEND_TO_HOST = "send_pkt_to_host"
+_DROP = "drop_pkt"
+
+
+class P4TextParser:
+    """Recursive-descent parser over the Micro-C tokenizer."""
+
+    def __init__(
+        self,
+        source: str,
+        constants: Optional[Dict[str, int]] = None,
+        tables: Optional[Dict[str, Table]] = None,
+        header_aliases: Optional[Dict[str, str]] = None,
+        field_aliases: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.tokens: List[Token] = tokenize(source)
+        self.position = 0
+        self.constants = dict(constants or {})
+        self.tables = dict(tables or {})
+        self.header_aliases = dict(DEFAULT_HEADER_ALIASES)
+        self.header_aliases.update(header_aliases or {})
+        self.field_aliases = dict(DEFAULT_FIELD_ALIASES)
+        self.field_aliases.update(field_aliases or {})
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(message, token.line, token.column)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            raise self.error(
+                f"expected {(value or kind)!r}, got {self.current.value!r}"
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_control(self) -> ControlBlock:
+        self.expect("ident", "control")
+        name = self.expect("ident").value
+        statements = self.parse_block()
+        if not self.accept("eof"):
+            raise self.error("trailing input after control block")
+        return ControlBlock(statements, name=name)
+
+    def parse_block(self) -> List[Statement]:
+        self.expect("op", "{")
+        statements: List[Statement] = []
+        while not self.accept("op", "}"):
+            if self.current.kind == "eof":
+                raise self.error("unterminated block")
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> Statement:
+        if self.accept("keyword", "if"):
+            return self.parse_if()
+        if self.accept("ident", "apply"):
+            self.expect("op", "(")
+            target = self.expect("ident").value
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return self.resolve_apply(target)
+        raise self.error(f"unexpected statement {self.current.value!r}")
+
+    def parse_if(self) -> Statement:
+        self.expect("op", "(")
+        statement = self.parse_condition()
+        self.expect("op", ")")
+        statement_then = self.parse_block()
+        orelse: List[Statement] = []
+        if self.accept("keyword", "else"):
+            if self.accept("keyword", "if"):
+                orelse = [self.parse_if()]
+            else:
+                orelse = self.parse_block()
+        statement.then = statement_then
+        statement.orelse = orelse
+        return statement
+
+    def parse_condition(self) -> Statement:
+        if self.accept("ident", "valid"):
+            self.expect("op", "(")
+            header = self.resolve_header(self.expect("ident").value)
+            self.expect("op", ")")
+            return IfValid(header)
+        # field comparison: hdr.field == CONSTANT (or literal number)
+        header = self.resolve_header(self.expect("ident").value)
+        self.expect("op", ".")
+        field_token = self.expect("ident").value
+        field_name = self.field_aliases.get(field_token, field_token)
+        self.expect("op", "==")
+        value = self.parse_value()
+        return IfFieldEq(header, field_name, value)
+
+    def parse_value(self) -> int:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return int(token.value, 0)
+        if token.kind == "ident":
+            self.advance()
+            if token.value not in self.constants:
+                raise ParseError(
+                    f"unbound constant {token.value!r} (the workload "
+                    "manager must supply lambda IDs)",
+                    token.line, token.column,
+                )
+            return self.constants[token.value]
+        raise self.error("expected a number or constant")
+
+    # -- name resolution ---------------------------------------------------------------
+
+    def resolve_header(self, name: str) -> str:
+        resolved = self.header_aliases.get(name, name)
+        from ..net.headers import header_class
+
+        try:
+            header_class(resolved)
+        except KeyError:
+            raise self.error(f"unknown header {name!r}") from None
+        return resolved
+
+    def resolve_apply(self, target: str) -> Statement:
+        if target == _SEND_TO_HOST:
+            return SendToHost()
+        if target == _DROP:
+            return Drop()
+        if target.startswith("return_") and target.endswith("_results"):
+            # Listing 3's response-emission actions.
+            return Forward()
+        if target in self.tables:
+            return ApplyTable(self.tables[target])
+        return InvokeLambda(target)
+
+
+def parse_control(source: str, constants: Optional[Dict[str, int]] = None,
+                  tables: Optional[Dict[str, Table]] = None,
+                  **kwargs) -> ControlBlock:
+    """Parse a textual P4 control block into a :class:`ControlBlock`."""
+    return P4TextParser(source, constants=constants, tables=tables,
+                        **kwargs).parse_control()

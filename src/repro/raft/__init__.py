@@ -1,0 +1,32 @@
+"""Raft consensus and the etcd-like replicated KV store."""
+
+from .kv import EtcdClient, EtcdCluster, EtcdStore
+from .log import RaftLog
+from .messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    ClientCommand,
+    ClientReply,
+    LogEntry,
+    RequestVote,
+    RequestVoteReply,
+)
+from .node import CANDIDATE, FOLLOWER, LEADER, RaftNode
+
+__all__ = [
+    "AppendEntries",
+    "AppendEntriesReply",
+    "CANDIDATE",
+    "ClientCommand",
+    "ClientReply",
+    "EtcdClient",
+    "EtcdCluster",
+    "EtcdStore",
+    "FOLLOWER",
+    "LEADER",
+    "LogEntry",
+    "RaftLog",
+    "RaftNode",
+    "RequestVote",
+    "RequestVoteReply",
+]

@@ -1,0 +1,78 @@
+"""Raft RPC messages (carried as packet payloads on the simulated net)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated log entry."""
+
+    term: int
+    command: Tuple[str, ...]  # e.g. ("SET", key, value)
+    client: Optional[str] = None
+    client_seq: int = 0
+
+
+@dataclass
+class RequestVote:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass
+class RequestVoteReply:
+    term: int
+    voter: str
+    granted: bool
+
+
+@dataclass
+class AppendEntries:
+    term: int
+    leader: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: List[LogEntry] = field(default_factory=list)
+    leader_commit: int = 0
+
+
+@dataclass
+class AppendEntriesReply:
+    term: int
+    follower: str
+    success: bool
+    #: Highest index known replicated on the follower (on success).
+    match_index: int = 0
+
+
+@dataclass
+class ClientCommand:
+    """A state-machine command submitted by a client."""
+
+    command: Tuple[str, ...]
+    client: str
+    seq: int
+
+
+@dataclass
+class ClientReply:
+    seq: int
+    ok: bool
+    result: Any = None
+    #: Populated on redirect: who the sender believes is leader.
+    leader_hint: Optional[str] = None
+
+
+def payload_bytes(message: Any) -> int:
+    """Approximate wire size of a message for link accounting."""
+    base = 48
+    if isinstance(message, AppendEntries):
+        return base + 32 * len(message.entries)
+    if isinstance(message, (ClientCommand, ClientReply)):
+        return base + 32
+    return base

@@ -1,0 +1,55 @@
+"""OpenFaaS-like serverless framework with a λ-NIC backend."""
+
+from .autoscaler import AutoScaler, ScalingDecision
+from .backends import (
+    Backend,
+    BareMetalBackend,
+    ContainerBackend,
+    DeployResult,
+    HostBackend,
+    LambdaNicBackend,
+    RDMA_BUFFER_POOL,
+)
+from .framework import MASTER, Testbed, WORKERS
+from .gateway import Gateway, GatewayTimeout, RequestOutcome, Route
+from .loadgen import LoadResult, closed_loop, open_loop, round_robin_closed_loop
+from .manager import DeploymentRecord, WorkloadManager
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .monitor import Alert, MonitoringEngine, TimeSeries, WatchService
+from .storage import ObjectStorage, StorageError, StoredObject
+
+__all__ = [
+    "Alert",
+    "AutoScaler",
+    "Backend",
+    "BareMetalBackend",
+    "ContainerBackend",
+    "Counter",
+    "DeployResult",
+    "DeploymentRecord",
+    "Gauge",
+    "Gateway",
+    "GatewayTimeout",
+    "Histogram",
+    "HostBackend",
+    "LambdaNicBackend",
+    "LoadResult",
+    "MASTER",
+    "MetricsRegistry",
+    "MonitoringEngine",
+    "ObjectStorage",
+    "RDMA_BUFFER_POOL",
+    "RequestOutcome",
+    "Route",
+    "ScalingDecision",
+    "StorageError",
+    "StoredObject",
+    "Testbed",
+    "TimeSeries",
+    "WORKERS",
+    "WatchService",
+    "WorkloadManager",
+    "closed_loop",
+    "open_loop",
+    "round_robin_closed_loop",
+]

@@ -1,0 +1,96 @@
+"""The autoscaler: replica scaling from observed request rates.
+
+OpenFaaS scales lambda replicas as demand changes (§6.1.1). Here the
+autoscaler watches the gateway's request counters and adjusts the set
+of worker targets serving each workload between ``min_replicas`` and
+the number of available workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..sim import Environment
+from .gateway import Gateway
+
+
+@dataclass
+class ScalingDecision:
+    at: float
+    workload: str
+    rate_rps: float
+    replicas: int
+
+
+class AutoScaler:
+    """Periodic rate-based scaling of gateway routes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        gateway: Gateway,
+        worker_pool: List[str],
+        check_interval: float = 1.0,
+        target_rps_per_replica: float = 100.0,
+        min_replicas: int = 1,
+    ) -> None:
+        if not worker_pool:
+            raise ValueError("autoscaler needs a worker pool")
+        if target_rps_per_replica <= 0:
+            raise ValueError("target rate must be positive")
+        self.env = env
+        self.gateway = gateway
+        self.worker_pool = list(worker_pool)
+        self.check_interval = check_interval
+        self.target_rps_per_replica = target_rps_per_replica
+        self.min_replicas = min_replicas
+        self.decisions: List[ScalingDecision] = []
+        self._last_counts: Dict[str, float] = {}
+        self._running = False
+
+    @property
+    def max_replicas(self) -> int:
+        return len(self.worker_pool)
+
+    def replicas_for(self, workload: str) -> int:
+        return len(self.gateway.route_for(workload).targets)
+
+    def desired_replicas(self, rate_rps: float) -> int:
+        import math
+
+        wanted = math.ceil(rate_rps / self.target_rps_per_replica)
+        return max(self.min_replicas, min(self.max_replicas, wanted))
+
+    def start(self):
+        """Process: run the control loop until the simulation ends."""
+        self._running = True
+        return self.env.process(self._loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.env.timeout(self.check_interval)
+            self.evaluate()
+
+    def evaluate(self) -> List[ScalingDecision]:
+        """One control iteration; returns decisions made this round."""
+        made = []
+        for workload in self.gateway.workloads:
+            total = self.gateway.requests_total.value(
+                labels={"workload": workload}
+            )
+            last = self._last_counts.get(workload, 0.0)
+            self._last_counts[workload] = total
+            rate = (total - last) / self.check_interval
+            desired = self.desired_replicas(rate)
+            route = self.gateway.route_for(workload)
+            if desired != len(route.targets):
+                route.targets = self.worker_pool[:desired]
+                route._rr = None  # reset round robin over the new set
+                decision = ScalingDecision(self.env.now, workload, rate, desired)
+                self.decisions.append(decision)
+                made.append(decision)
+        return made

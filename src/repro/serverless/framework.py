@@ -1,0 +1,156 @@
+"""The testbed (Figure 5): a master and four workers on a 10 G switch.
+
+:class:`Testbed` assembles the full system — network, master node with
+gateway/storage/memcached (and optionally an etcd cluster), plus worker
+machines that can host any of the three backends — and exposes the
+workload manager as the entry point, mirroring the paper's evaluation
+setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import LambdaNicRuntime
+from ..host import HostServer
+from ..hw import SmartNIC, UniformRandomScheduler
+from ..kvcache import MemcachedServer
+from ..net import Network
+from ..raft import EtcdClient, EtcdCluster
+from ..sim import Environment, RngRegistry
+from .backends import BareMetalBackend, ContainerBackend, LambdaNicBackend
+from .gateway import Gateway
+from .manager import WorkloadManager
+from .metrics import MetricsRegistry
+from .monitor import MonitoringEngine, WatchService
+from .storage import ObjectStorage
+
+#: Names mirroring the paper's testbed machines.
+MASTER = "m1"
+WORKERS = ["m2", "m3", "m4", "m5"]
+
+
+class Testbed:
+    """A fully wired evaluation cluster."""
+
+    __test__ = False  # Not a pytest test class despite the T-name.
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_workers: int = 4,
+        with_etcd: bool = False,
+        with_monitoring: bool = False,
+        gateway_kwargs: Optional[dict] = None,
+        nic_kwargs: Optional[dict] = None,
+    ) -> None:
+        if not 1 <= n_workers <= len(WORKERS):
+            raise ValueError(f"n_workers must be in [1, {len(WORKERS)}]")
+        self.env = Environment()
+        self.rng = RngRegistry(seed=seed)
+        self.network = Network(self.env)
+        self.metrics = MetricsRegistry()
+        self.worker_names = WORKERS[:n_workers]
+        self.nic_kwargs = dict(nic_kwargs or {})
+
+        # Master node: gateway + storage + memcached (+ etcd, monitoring).
+        self.gateway = Gateway(
+            self.env,
+            self.network.add_node(MASTER),
+            metrics=self.metrics,
+            **(gateway_kwargs or {}),
+        )
+        self.storage = ObjectStorage(self.env)
+        self.memcached = MemcachedServer(
+            self.env, self.network.add_node("memcached")
+        )
+        self.etcd_cluster: Optional[EtcdCluster] = None
+        etcd_client = None
+        if with_etcd:
+            self.etcd_cluster = EtcdCluster(
+                self.env, self.network, n_nodes=3, rng=self.rng
+            )
+            etcd_client = EtcdClient(
+                self.env,
+                self.network.add_node("etcd-client"),
+                self.etcd_cluster.names,
+            )
+        self.manager = WorkloadManager(
+            self.env, self.gateway, self.storage, etcd=etcd_client
+        )
+        # Figure 5's monitoring engine and watch service (optional).
+        self.monitoring: Optional[MonitoringEngine] = None
+        self.watch: Optional[WatchService] = None
+        if with_monitoring:
+            self.monitoring = MonitoringEngine(self.env, self.metrics)
+            self.watch = WatchService(self.env, self.gateway)
+            self.monitoring.start()
+            self.watch.start()
+
+        # Worker substrates are created lazily per backend kind.
+        self._host_servers: Dict[str, List[HostServer]] = {}
+        self._nics: List[SmartNIC] = []
+        self.nic_runtime: Optional[LambdaNicRuntime] = None
+
+    # -- backend construction -------------------------------------------------
+
+    def _make_host_servers(self, suffix: str) -> List[HostServer]:
+        servers = []
+        for name in self.worker_names:
+            node = self.network.add_node(f"{name}-{suffix}")
+            servers.append(HostServer(self.env, node))
+        return servers
+
+    def add_container_backend(self) -> ContainerBackend:
+        servers = self._make_host_servers("ctr")
+        self._host_servers["container"] = servers
+        backend = ContainerBackend(
+            self.env, servers, rng=self.rng.stream("container"),
+        )
+        self.manager.add_backend(backend)
+        return backend
+
+    def add_bare_metal_backend(self) -> BareMetalBackend:
+        servers = self._make_host_servers("bm")
+        self._host_servers["bare-metal"] = servers
+        backend = BareMetalBackend(
+            self.env, servers, rng=self.rng.stream("bare-metal"),
+        )
+        self.manager.add_backend(backend)
+        return backend
+
+    def add_lambda_nic_backend(self, optimize: bool = True) -> LambdaNicBackend:
+        for name in self.worker_names:
+            node = self.network.add_node(f"{name}-nic")
+            self._nics.append(SmartNIC(
+                self.env, node,
+                rng=self.rng.stream(f"nic:{name}"),
+                **self.nic_kwargs,
+            ))
+        self.nic_runtime = LambdaNicRuntime(self.env, self._nics,
+                                            optimize=optimize)
+        backend = LambdaNicBackend(self.env, self.nic_runtime)
+        self.manager.add_backend(backend)
+        return backend
+
+    def add_backend(self, kind: str):
+        """Create a backend by kind name."""
+        if kind == "container":
+            return self.add_container_backend()
+        if kind == "bare-metal":
+            return self.add_bare_metal_backend()
+        if kind == "lambda-nic":
+            return self.add_lambda_nic_backend()
+        raise ValueError(f"unknown backend kind {kind!r}")
+
+    # -- accessors ---------------------------------------------------------------
+
+    def host_servers(self, kind: str) -> List[HostServer]:
+        return self._host_servers[kind]
+
+    @property
+    def nics(self) -> List[SmartNIC]:
+        return list(self._nics)
+
+    def run(self, until=None):
+        return self.env.run(until=until)

@@ -1,0 +1,230 @@
+"""The gateway: proxies user requests to workloads (Figure 2).
+
+For every request the gateway inserts the :class:`LambdaHeader` with
+the workload's assigned ID (paper §4.1), forwards to a worker (host
+backend or SmartNIC), and matches the response back to the caller. For
+RDMA workloads it segments the payload into multi-packet RDMA writes.
+
+The gateway is itself software on the master node: each request pays a
+serialised proxy cost, which is what caps λ-NIC's end-to-end throughput
+in Table 2 (the NIC itself is far from saturated).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..net import (
+    EthernetHeader,
+    HeaderStack,
+    IPv4Header,
+    LambdaHeader,
+    Packet,
+    RdmaHeader,
+    UDPHeader,
+)
+from ..net.network import Node
+from ..sim import Environment, Resource
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class Route:
+    """Where requests for one workload go."""
+
+    workload: str
+    wid: int
+    targets: List[str]
+    #: RDMA queue pair if the workload takes multi-packet input.
+    rdma_qp: Optional[int] = None
+    _rr: Any = field(default=None, repr=False)
+
+    def next_target(self) -> str:
+        if self._rr is None:
+            self._rr = itertools.cycle(self.targets)
+        return next(self._rr)
+
+
+@dataclass
+class RequestOutcome:
+    """What the gateway observed for one request."""
+
+    workload: str
+    latency: float
+    response: Optional[Packet]
+    ok: bool
+    retries: int = 0
+
+
+class GatewayTimeout(Exception):
+    """A request exhausted its retries."""
+
+
+class Gateway:
+    """Request proxy + response matcher on the master node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        metrics: Optional[MetricsRegistry] = None,
+        proxy_seconds: float = 17.2e-6,
+        proxy_concurrency: int = 1,
+        rdma_segment_bytes: int = 4096,
+        request_timeout: float = 5.0,
+        max_retries: int = 1,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.name = node.name
+        self.metrics = metrics or MetricsRegistry()
+        self.proxy_seconds = proxy_seconds
+        self.rdma_segment_bytes = rdma_segment_bytes
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self._proxy = Resource(env, capacity=proxy_concurrency)
+        self._routes: Dict[str, Route] = {}
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, Any] = {}
+        self.latency_histogram = self.metrics.histogram(
+            "gateway_request_seconds", "end-to-end request latency"
+        )
+        self.requests_total = self.metrics.counter(
+            "gateway_requests_total", "requests proxied"
+        )
+        self.failures_total = self.metrics.counter(
+            "gateway_failures_total", "requests that exhausted retries"
+        )
+        node.attach(self._receive)
+
+    # -- routing table ---------------------------------------------------
+
+    def set_route(self, workload: str, wid: int, targets: List[str],
+                  rdma_qp: Optional[int] = None) -> None:
+        if not targets:
+            raise ValueError(f"route for {workload!r} needs targets")
+        self._routes[workload] = Route(workload, wid, list(targets), rdma_qp)
+
+    def remove_route(self, workload: str) -> None:
+        """Stop routing for a workload (requests will raise KeyError)."""
+        if workload not in self._routes:
+            raise KeyError(f"no route for workload {workload!r}")
+        del self._routes[workload]
+
+    def route_for(self, workload: str) -> Route:
+        route = self._routes.get(workload)
+        if route is None:
+            raise KeyError(f"no route for workload {workload!r}")
+        return route
+
+    @property
+    def workloads(self) -> List[str]:
+        return sorted(self._routes)
+
+    # -- datapath -----------------------------------------------------------
+
+    def _receive(self, packet: Packet) -> None:
+        header = packet.headers.get("LambdaHeader")
+        if header is None or not header.is_response:
+            return
+        waiter = self._pending.pop(header.request_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(packet)
+
+    def request(self, workload: str, payload: Any = None,
+                payload_bytes: Optional[int] = None):
+        """Process: one user request through the gateway.
+
+        Returns a :class:`RequestOutcome`; raises
+        :class:`GatewayTimeout` after ``max_retries`` unanswered sends.
+        """
+        return self.env.process(self._request(workload, payload, payload_bytes))
+
+    def _request(self, workload: str, payload: Any,
+                 payload_bytes: Optional[int]):
+        route = self.route_for(workload)
+        size = payload_bytes if payload_bytes is not None else (
+            len(payload) if isinstance(payload, (bytes, bytearray)) else 64
+        )
+        retries = 0
+        start = None
+        while True:
+            request_id = next(self._ids)
+            waiter = self.env.event()
+            self._pending[request_id] = waiter
+            # Proxy (NAT / route lookup / header insertion) — serialised.
+            with self._proxy.request() as slot:
+                yield slot
+                yield self.env.timeout(self.proxy_seconds)
+                target = route.next_target()
+                if start is None:
+                    # Latency is measured from the moment the gateway
+                    # sends the request (paper §6.3.1), not including
+                    # its own queued proxy time.
+                    start = self.env.now
+                self._send_request(route, target, request_id, payload, size)
+            outcome = yield self.env.any_of(
+                [waiter, self.env.timeout(self.request_timeout, value=None)]
+            )
+            response = waiter.value if waiter in outcome else None
+            self._pending.pop(request_id, None)
+            if response is not None:
+                latency = self.env.now - start
+                self.latency_histogram.observe(
+                    latency, labels={"workload": workload}
+                )
+                self.requests_total.inc(labels={"workload": workload})
+                return RequestOutcome(workload, latency, response, True, retries)
+            retries += 1
+            if retries > self.max_retries:
+                self.failures_total.inc(labels={"workload": workload})
+                raise GatewayTimeout(
+                    f"request to {workload!r} unanswered after {retries - 1} retries"
+                )
+
+    def _send_request(self, route: Route, target: str, request_id: int,
+                      payload: Any, size: int) -> None:
+        if route.rdma_qp is not None:
+            self._send_rdma(route, target, request_id, payload, size)
+            return
+        self.node.send(Packet(
+            src=self.name,
+            dst=target,
+            headers=HeaderStack([
+                EthernetHeader(),
+                IPv4Header(src_ip=self.name, dst_ip=target),
+                UDPHeader(),
+                LambdaHeader(wid=route.wid, request_id=request_id),
+            ]),
+            payload=payload,
+            payload_bytes=size,
+        ))
+
+    def _send_rdma(self, route: Route, target: str, request_id: int,
+                   payload: Any, size: int) -> None:
+        """Segment a large payload into RDMA writes (paper D3)."""
+        segment = self.rdma_segment_bytes
+        total = max(1, (size + segment - 1) // segment)
+        blob = payload if isinstance(payload, (bytes, bytearray)) else None
+        for seq in range(total):
+            chunk_size = min(segment, size - seq * segment)
+            chunk = (bytes(blob[seq * segment: seq * segment + chunk_size])
+                     if blob is not None else None)
+            self.node.send(Packet(
+                src=self.name,
+                dst=target,
+                headers=HeaderStack([
+                    EthernetHeader(),
+                    IPv4Header(src_ip=self.name, dst_ip=target),
+                    UDPHeader(),
+                    LambdaHeader(wid=route.wid, request_id=request_id,
+                                 seq=seq, total_segments=total),
+                    RdmaHeader(opcode="WRITE", qp=route.rdma_qp,
+                               remote_address=seq * segment,
+                               length=chunk_size),
+                ]),
+                payload=chunk,
+                payload_bytes=chunk_size,
+            ))

@@ -1,0 +1,176 @@
+"""Load generators: closed-loop and open-loop clients.
+
+The paper's two throughput modes (§6.3.1): closed-loop testing (each
+request sent after the previous completes) and parallel testing with N
+outstanding requests. Both return a :class:`LoadResult` with latencies
+and throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..sim import Environment, exponential
+from .gateway import Gateway, GatewayTimeout
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-generation run."""
+
+    workload: str
+    latencies: List[float] = field(default_factory=list)
+    failures: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return (sum(self.latencies) / len(self.latencies)
+                if self.latencies else float("nan"))
+
+    def percentile(self, q: float) -> float:
+        import math
+
+        data = sorted(self.latencies)
+        if not data:
+            return float("nan")
+        rank = max(0, min(len(data) - 1, math.ceil(q / 100 * len(data)) - 1))
+        return data[rank]
+
+
+def closed_loop(
+    env: Environment,
+    gateway: Gateway,
+    workload: str,
+    n_requests: int,
+    concurrency: int = 1,
+    payload: Any = None,
+    payload_bytes: Optional[int] = None,
+    think_time: float = 0.0,
+):
+    """Process: ``concurrency`` workers issuing ``n_requests`` total."""
+
+    def run():
+        result = LoadResult(workload=workload, started_at=env.now)
+        remaining = [n_requests]
+
+        def worker():
+            while remaining[0] > 0:
+                remaining[0] -= 1
+                try:
+                    outcome = yield gateway.request(
+                        workload, payload=payload, payload_bytes=payload_bytes
+                    )
+                    result.latencies.append(outcome.latency)
+                except GatewayTimeout:
+                    result.failures += 1
+                if think_time > 0:
+                    yield env.timeout(think_time)
+
+        workers = [env.process(worker())
+                   for _ in range(max(1, concurrency))]
+        yield env.all_of(workers)
+        result.finished_at = env.now
+        return result
+
+    return env.process(run())
+
+
+def open_loop(
+    env: Environment,
+    gateway: Gateway,
+    workload: str,
+    rate_rps: float,
+    duration: float,
+    rng,
+    payload: Any = None,
+    payload_bytes: Optional[int] = None,
+):
+    """Process: Poisson arrivals at ``rate_rps`` for ``duration``."""
+    if rate_rps <= 0:
+        raise ValueError("rate must be positive")
+
+    def run():
+        result = LoadResult(workload=workload, started_at=env.now)
+        outstanding = []
+        deadline = env.now + duration
+
+        def one_request():
+            try:
+                outcome = yield gateway.request(
+                    workload, payload=payload, payload_bytes=payload_bytes
+                )
+                result.latencies.append(outcome.latency)
+            except GatewayTimeout:
+                result.failures += 1
+
+        while env.now < deadline:
+            yield env.timeout(exponential(rng, 1.0 / rate_rps))
+            if env.now >= deadline:
+                break
+            outstanding.append(env.process(one_request()))
+        if outstanding:
+            yield env.all_of(outstanding)
+        result.finished_at = env.now
+        return result
+
+    return env.process(run())
+
+
+def round_robin_closed_loop(
+    env: Environment,
+    gateway: Gateway,
+    workloads: List[str],
+    n_requests: int,
+    concurrency: int = 1,
+):
+    """Process: closed loop cycling requests across ``workloads``.
+
+    This is the paper's Figure-8 contention driver: requests for
+    multiple distinct lambdas issued round-robin, forcing backends to
+    switch between them. Returns one LoadResult per workload, plus a
+    combined result under key ``"__all__"``.
+    """
+
+    def run():
+        results = {name: LoadResult(workload=name, started_at=env.now)
+                   for name in workloads}
+        combined = LoadResult(workload="__all__", started_at=env.now)
+        counter = [0]
+        remaining = [n_requests]
+
+        def worker():
+            while remaining[0] > 0:
+                remaining[0] -= 1
+                name = workloads[counter[0] % len(workloads)]
+                counter[0] += 1
+                try:
+                    outcome = yield gateway.request(name)
+                    results[name].latencies.append(outcome.latency)
+                    combined.latencies.append(outcome.latency)
+                except GatewayTimeout:
+                    results[name].failures += 1
+                    combined.failures += 1
+
+        workers = [env.process(worker()) for _ in range(max(1, concurrency))]
+        yield env.all_of(workers)
+        for result in list(results.values()) + [combined]:
+            result.finished_at = env.now
+        results["__all__"] = combined
+        return results
+
+    return env.process(run())

@@ -1,0 +1,60 @@
+"""Discrete-event simulation kernel used by every substrate in the repo."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    EmptySchedule,
+    Environment,
+    Event,
+    NORMAL,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+    URGENT,
+)
+from .process import Initialize, Interrupt, Process
+from .resources import (
+    Container,
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+)
+from .rng import RngRegistry, exponential, lognormal_service
+from .stores import FilterStore, PriorityItem, PriorityStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Initialize",
+    "Interrupt",
+    "NORMAL",
+    "Preempted",
+    "PreemptiveResource",
+    "PriorityItem",
+    "PriorityResource",
+    "PriorityStore",
+    "Process",
+    "Release",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "URGENT",
+    "exponential",
+    "lognormal_service",
+]

@@ -1,0 +1,327 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop at the heart of the reproduction: a
+deterministic, priority-ordered event calendar (:class:`Environment`) and
+the base :class:`Event` type. The design follows the classic
+process-interaction style (as popularised by SimPy) but is implemented
+from scratch so the repository has no runtime dependencies beyond numpy.
+
+All simulated time is a ``float`` in **seconds**. Events scheduled at the
+same timestamp are processed in (priority, insertion-order) order, which
+makes every run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+#: Scheduling priority for bookkeeping events that must run before any
+#: ordinary event at the same timestamp (e.g. process initialisation).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at ``until``."""
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once it has a value
+    (or an exception) and has been scheduled, and becomes *processed*
+    once its callbacks have run.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: When an event fails, somebody must "defuse" it (handle the
+        #: exception) or the environment re-raises it at process time.
+        self.defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class ConditionValue:
+    """Ordered mapping of events to values for condition results."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(key)
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[Event]:
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        return {event: event._value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event over a set of sub-events.
+
+    ``evaluate`` receives (events, triggered_count) and returns True when
+    the condition is met. :class:`AllOf` and :class:`AnyOf` are the two
+    standard instantiations.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue())
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            if event.triggered:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires once every sub-event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires once any sub-event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)
+
+
+class Environment:
+    """The simulation environment: clock plus event calendar."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = 0
+        self._active_process = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Place a triggered event on the calendar."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf``."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next event on the calendar."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the calendar empties, time ``until``, or event ``until``.
+
+        If ``until`` is an :class:`Event`, returns its value once it fires.
+        """
+        stop_value = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is not None:
+                    until.callbacks.append(self._stop_callback)
+                elif until.triggered:
+                    return until._value
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until ({at}) must be >= now ({self._now})")
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks = [self._stop_callback]
+                self.schedule(stop_event, URGENT, at - self._now)
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "no scheduled events left but until event was not triggered"
+                ) from None
+        return stop_value
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event._value)
+
+    # -- convenience constructors -----------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Start a process from a generator of events."""
+        from .process import Process
+
+        return Process(self, generator)

@@ -1,0 +1,137 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator that yields :class:`Event`
+objects. The process suspends on each yielded event and resumes when that
+event fires; the event's value becomes the value of the ``yield``
+expression. A process is itself an event that fires when the generator
+returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .core import Event, Environment, SimulationError, URGENT, _PENDING
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        """Whatever was passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return f"Interrupt({self.cause!r})"
+
+
+class Initialize(Event):
+    """Starts a freshly created process at the current time."""
+
+    def __init__(self, env: Environment, process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        env.schedule(self, URGENT)
+
+
+class Interruption(Event):
+    """Immediately schedules an :class:`Interrupt` into a process."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self._ok = False
+        self._value = Interrupt(cause)
+        self.defused = True
+        self.process = process
+        self.callbacks = [self._interrupt]
+        self.env.schedule(self, URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        process = self.process
+        if process.triggered:
+            return  # Terminated in the meantime; the interrupt is moot.
+        # Detach the process from whatever event it is waiting for, then
+        # resume it with the failure so the generator sees the Interrupt.
+        if process._target is not None and process._target.callbacks is not None:
+            process._target.callbacks.remove(process._resume)
+        process._resume(self)
+
+
+class Process(Event):
+    """An active component driven by a generator of events."""
+
+    def __init__(self, env: Environment, generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as error:
+                self._ok = False
+                self._value = error
+                self.defused = False
+                self.env.schedule(self)
+                break
+
+            if not isinstance(target, Event):
+                self._fail_bad_yield(target)
+                break
+            if target is self:
+                self._fail_bad_yield(target)
+                break
+            if target.callbacks is not None:
+                # Not yet processed: park until it fires.
+                target.callbacks.append(self._resume)
+                self._target = target
+                break
+            # Already processed: continue immediately with its value.
+            event = target
+
+        self.env._active_process = None
+
+    def _fail_bad_yield(self, target: Any) -> None:
+        error = SimulationError(f"process yielded an invalid target {target!r}")
+        self._ok = False
+        self._value = error
+        self.defused = False
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", repr(self._generator))
+        return f"<Process({name})>"

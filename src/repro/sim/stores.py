@@ -1,0 +1,166 @@
+"""Message stores: FIFO, filtered, and priority item queues.
+
+A :class:`Store` is the basic producer/consumer channel used throughout
+the network and host models: ``put(item)`` and ``get()`` return events
+that fire once the operation completes. :class:`FilterStore` lets getters
+wait for items matching a predicate; :class:`PriorityStore` pops items in
+priority order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List
+
+from .core import Event, Environment
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_waiters.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled get from the wait queue."""
+        waiters = getattr(self, "_waiters", None)
+        if waiters is not None and self in waiters:
+            waiters.remove(self)
+
+
+class Store:
+    """FIFO item queue with bounded capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; fires once there is room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return the next item; fires once one exists."""
+        event = StoreGet(self)
+        event._waiters = self._get_waiters
+        return event
+
+    # -- internal ----------------------------------------------------------
+
+    def _do_put(self, put: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(put.item)
+            put.succeed()
+            return True
+        return False
+
+    def _do_get(self, get: StoreGet) -> bool:
+        if self.items:
+            get.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters and self._do_put(self._put_waiters[0]):
+                self._put_waiters.pop(0)
+                progressed = True
+            if self._get_waiters and self._do_get(self._get_waiters[0]):
+                self._get_waiters.pop(0)
+                progressed = True
+
+
+class FilterStoreGet(StoreGet):
+    def __init__(self, store: "FilterStore", predicate: Callable[[Any], bool]) -> None:
+        self.predicate = predicate
+        super().__init__(store)
+
+
+class FilterStore(Store):
+    """A store whose getters can wait for items matching a predicate."""
+
+    def get(self, predicate: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:
+        event = FilterStoreGet(self, predicate)
+        event._waiters = self._get_waiters
+        return event
+
+    def _do_get(self, get: StoreGet) -> bool:
+        predicate = getattr(get, "predicate", lambda item: True)
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                self.items.pop(index)
+                get.succeed(item)
+                return True
+        return False
+
+    def _trigger(self) -> None:
+        # Unlike the FIFO store, a blocked getter at the head must not
+        # starve getters further back whose predicates can be satisfied.
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters and self._do_put(self._put_waiters[0]):
+                self._put_waiters.pop(0)
+                progressed = True
+            for get in list(self._get_waiters):
+                if self._do_get(get):
+                    self._get_waiters.remove(get)
+                    progressed = True
+
+
+class PriorityItem:
+    """Wrap an arbitrary item with an orderable priority."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PriorityItem)
+            and self.priority == other.priority
+            and self.item == other.item
+        )
+
+    def __repr__(self) -> str:
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """A store that releases the smallest item first (heap order)."""
+
+    def _do_put(self, put: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            heapq.heappush(self.items, put.item)
+            put.succeed()
+            return True
+        return False
+
+    def _do_get(self, get: StoreGet) -> bool:
+        if self.items:
+            get.succeed(heapq.heappop(self.items))
+            return True
+        return False

@@ -1,0 +1,26 @@
+"""Transport: weakly-consistent RPC, segmentation, NIC-side reordering."""
+
+from .reorder import (
+    REORDER_INSTRUCTIONS_PER_SEGMENT,
+    ReorderBuffer,
+    ReorderError,
+)
+from .rpc import RpcEndpoint, RpcTimeout
+from .segmentation import (
+    DEFAULT_SEGMENT_BYTES,
+    Segment,
+    reassemble,
+    segment_message,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_BYTES",
+    "REORDER_INSTRUCTIONS_PER_SEGMENT",
+    "ReorderBuffer",
+    "ReorderError",
+    "RpcEndpoint",
+    "RpcTimeout",
+    "Segment",
+    "reassemble",
+    "segment_message",
+]

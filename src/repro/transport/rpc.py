@@ -1,0 +1,98 @@
+"""Weakly-consistent RPC endpoint (paper §4.2.1-D3).
+
+Serverless RPCs are mostly independent, single-packet request-response
+pairs that do not need TCP's strict in-order streaming. The sender
+tracks outstanding RPCs and retransmits on timeout; receivers must
+tolerate duplicates. :class:`RpcEndpoint` packages that pattern for any
+component that talks over the simulated network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from ..net import HeaderStack, LambdaHeader, Packet, RpcHeader, UDPHeader
+from ..net.network import Node
+from ..sim import Environment
+
+
+class RpcTimeout(Exception):
+    """The peer did not answer within the retry budget."""
+
+
+class RpcEndpoint:
+    """Request/response matching with timeout-based retransmission."""
+
+    def __init__(self, env: Environment, node: Node,
+                 timeout: float = 0.05, retries: int = 3) -> None:
+        self.env = env
+        self.node = node
+        self.timeout = timeout
+        self.retries = retries
+        self._ids = itertools.count(1)
+        self._waiting: Dict[int, Any] = {}
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    def on_packet(self, packet: Packet) -> bool:
+        """Feed a received packet; returns True if it completed an RPC.
+
+        Call this from the owner's receive handler (the endpoint does
+        not attach itself, so owners can multiplex other traffic).
+        """
+        header = packet.headers.get("LambdaHeader")
+        if header is None or not header.is_response:
+            return False
+        waiter = self._waiting.pop(header.request_id, None)
+        if waiter is None or waiter.triggered:
+            return False
+        waiter.succeed(packet)
+        return True
+
+    def call(self, dst: str, method: str = "", key: str = "",
+             payload: Any = None, payload_bytes: int = 64,
+             wid: int = 0, build: Optional[Callable[[int], Packet]] = None):
+        """Process: send a request and wait for the matched response.
+
+        ``build(request_id)`` may be supplied to fully customise the
+        packet; otherwise a standard UDP+Lambda+Rpc request is sent.
+        """
+        return self.env.process(self._call(
+            dst, method, key, payload, payload_bytes, wid, build,
+        ))
+
+    def _call(self, dst, method, key, payload, payload_bytes, wid, build):
+        request_id = next(self._ids)
+        attempt = 0
+        while True:
+            attempt += 1
+            waiter = self.env.event()
+            self._waiting[request_id] = waiter
+            packet = build(request_id) if build is not None else Packet(
+                src=self.node.name, dst=dst,
+                headers=HeaderStack([
+                    UDPHeader(),
+                    LambdaHeader(wid=wid, request_id=request_id),
+                    RpcHeader(method=method, key=key),
+                ]),
+                payload=payload,
+                payload_bytes=payload_bytes,
+            )
+            self.node.send(packet)
+            outcome = yield self.env.any_of(
+                [waiter, self.env.timeout(self.timeout, value=None)]
+            )
+            if waiter in outcome:
+                return waiter.value
+            self._waiting.pop(request_id, None)
+            self.timeouts += 1
+            if attempt > self.retries:
+                raise RpcTimeout(
+                    f"no response from {dst!r} after {self.retries} retries"
+                )
+            self.retransmissions += 1
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._waiting)

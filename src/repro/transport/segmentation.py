@@ -1,0 +1,60 @@
+"""Segmentation of large messages into multi-packet RDMA writes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: RoCEv2-style default segment (the NIC's RDMA MTU).
+DEFAULT_SEGMENT_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One segment of a multi-packet message."""
+
+    seq: int
+    total: int
+    offset: int
+    length: int
+    payload: Optional[bytes] = None
+
+    @property
+    def is_last(self) -> bool:
+        return self.seq == self.total - 1
+
+
+def segment_message(
+    size_bytes: int,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    payload: Optional[bytes] = None,
+) -> List[Segment]:
+    """Split ``size_bytes`` (optionally with content) into segments."""
+    if size_bytes < 0:
+        raise ValueError("size must be non-negative")
+    if segment_bytes <= 0:
+        raise ValueError("segment size must be positive")
+    if payload is not None and len(payload) != size_bytes:
+        raise ValueError("payload length disagrees with size_bytes")
+    total = max(1, (size_bytes + segment_bytes - 1) // segment_bytes)
+    segments = []
+    for seq in range(total):
+        offset = seq * segment_bytes
+        length = min(segment_bytes, size_bytes - offset) if size_bytes else 0
+        chunk = payload[offset:offset + length] if payload is not None else None
+        segments.append(Segment(seq=seq, total=total, offset=offset,
+                                length=max(0, length), payload=chunk))
+    return segments
+
+
+def reassemble(segments: List[Segment]) -> bytes:
+    """Concatenate segment payloads in sequence order."""
+    if not segments:
+        raise ValueError("no segments")
+    ordered = sorted(segments, key=lambda segment: segment.seq)
+    total = ordered[0].total
+    if [segment.seq for segment in ordered] != list(range(total)):
+        raise ValueError("missing or duplicate segments")
+    if any(segment.payload is None for segment in ordered):
+        raise ValueError("segments carry no payload")
+    return b"".join(segment.payload for segment in ordered)

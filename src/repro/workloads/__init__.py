@@ -1,0 +1,70 @@
+"""The paper's benchmark workloads: web server, kv client, image transformer."""
+
+from .common import (
+    GEN_REQUEST_PAD,
+    REPLY_HELPER_PAD,
+    build_gen_request_helper,
+    build_reply_helper,
+    emit_pad,
+)
+from .image_transformer import (
+    ACK_BYTES,
+    DEFAULT_HEIGHT,
+    DEFAULT_WIDTH,
+    HOST_SECONDS_PER_PIXEL,
+    grayscale_reference,
+    image_bytes,
+    image_transformer_host,
+    image_transformer_nic,
+    make_rgba_image,
+)
+from .intrinsics import GRAYSCALE_CYCLES_PER_PIXEL, install_intrinsics
+from .kvclient import KV_RESPONSE_BYTES, kv_client_host, kv_client_nic
+from .registry import (
+    WorkloadSpec,
+    fig9_workloads,
+    image_transformer_spec,
+    kv_client_spec,
+    standard_workloads,
+    web_server_spec,
+)
+from .webserver import (
+    DEFAULT_PAGES,
+    DEFAULT_PAGE_BYTES,
+    populate_content,
+    web_server_host,
+    web_server_nic,
+)
+
+__all__ = [
+    "ACK_BYTES",
+    "DEFAULT_HEIGHT",
+    "DEFAULT_PAGES",
+    "DEFAULT_PAGE_BYTES",
+    "DEFAULT_WIDTH",
+    "GEN_REQUEST_PAD",
+    "GRAYSCALE_CYCLES_PER_PIXEL",
+    "HOST_SECONDS_PER_PIXEL",
+    "KV_RESPONSE_BYTES",
+    "REPLY_HELPER_PAD",
+    "WorkloadSpec",
+    "build_gen_request_helper",
+    "build_reply_helper",
+    "emit_pad",
+    "fig9_workloads",
+    "grayscale_reference",
+    "image_bytes",
+    "image_transformer_host",
+    "image_transformer_nic",
+    "image_transformer_spec",
+    "install_intrinsics",
+    "kv_client_host",
+    "kv_client_nic",
+    "kv_client_spec",
+    "make_rgba_image",
+    "populate_content",
+    "standard_workloads",
+    "web_server_host",
+    "web_server_nic",
+    "web_server_spec",
+]

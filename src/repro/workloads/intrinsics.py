@@ -1,0 +1,87 @@
+"""Bulk intrinsics used by the benchmark lambdas.
+
+NPU cores expose hardware-assisted bulk operations; in the IR these are
+``Op.INTRINSIC`` instructions whose semantics live here. Each intrinsic
+mutates the machine state and returns the extra cycles it costs, so the
+cost model scales with data size while the interpreter executes a
+single IR instruction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..isa import REGION_ACCESS_CYCLES, register_intrinsic
+from ..isa.interpreter import Machine
+
+#: NPU cycles per pixel for the RGBA->grayscale transform: three loads,
+#: two adds, a shift, and a store on a scalar RISC core.
+GRAYSCALE_CYCLES_PER_PIXEL = 75
+
+
+def _object_region(machine: Machine, name: str):
+    return machine.program.object(name).region
+
+
+def reply_from_memory(machine: Machine, args) -> int:
+    """Copy ``length`` bytes of an object into the response payload.
+
+    args: (("mem", obj, offset), length)
+    """
+    memref, length = args
+    _, obj, offset = memref
+    offset = machine.read(offset)
+    length = machine.read(length)
+    data = machine.memory[obj]
+    if offset + length > len(data):
+        length = max(0, len(data) - offset)
+    machine.response_payload = bytes(data[offset:offset + length])
+    bursts = max(1, math.ceil(length / 64))  # 64 B DMA bursts
+    return bursts * REGION_ACCESS_CYCLES[_object_region(machine, obj)]
+
+
+def grayscale(machine: Machine, args) -> int:
+    """RGBA -> grayscale in place over an image object.
+
+    args: (("mem", obj, 0), n_pixels). The gray plane is written back
+    into the first quarter of the buffer.
+    """
+    memref, n_pixels = args
+    _, obj, _ = memref
+    n_pixels = machine.read(n_pixels)
+    buffer = machine.memory[obj]
+    usable = min(n_pixels, len(buffer) // 4)
+    if usable > 0:
+        rgba = np.frombuffer(bytes(buffer[:usable * 4]), dtype=np.uint8)
+        rgba = rgba.reshape(-1, 4).astype(np.uint16)
+        gray = ((rgba[:, 0] + rgba[:, 1] + rgba[:, 2]) // 3).astype(np.uint8)
+        buffer[:usable] = gray.tobytes()
+    return usable * GRAYSCALE_CYCLES_PER_PIXEL
+
+
+def checksum(machine: Machine, args) -> int:
+    """Ones-complement-style checksum over an object (cost model only)."""
+    memref, length = args
+    _, obj, _ = memref
+    length = machine.read(length)
+    data = machine.memory[obj]
+    usable = min(length, len(data))
+    total = int(np.frombuffer(
+        bytes(data[:usable]).ljust((usable + 1) // 2 * 2, b"\x00"),
+        dtype=np.uint16,
+    ).sum()) & 0xFFFF
+    machine.meta["checksum"] = total
+    bursts = max(1, math.ceil(usable / 64))
+    return bursts * REGION_ACCESS_CYCLES[_object_region(machine, obj)] // 4
+
+
+def install_intrinsics() -> None:
+    """Idempotently register all workload intrinsics."""
+    register_intrinsic("reply_from_memory", reply_from_memory)
+    register_intrinsic("grayscale", grayscale)
+    register_intrinsic("checksum", checksum)
+
+
+install_intrinsics()

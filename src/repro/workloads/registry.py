@@ -1,0 +1,116 @@
+"""Workload registry: the paper's benchmark suite in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..host import MIB
+from ..isa import LambdaProgram
+from .image_transformer import (
+    image_bytes,
+    image_transformer_host,
+    image_transformer_nic,
+)
+from .kvclient import kv_client_host, kv_client_nic
+from .webserver import web_server_host, web_server_nic
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything a backend needs to deploy one benchmark workload."""
+
+    name: str
+    kind: str  # "web" | "kv" | "image"
+    nic_factory: Callable[..., LambdaProgram]
+    host_factory: Callable[..., Callable]
+    #: Raw compiled-code size (pre-packaging; Table 4 adds runtime deps).
+    code_bytes: int = 1 * MIB
+    #: Request payload from the client, in bytes.
+    request_bytes: int = 64
+    #: True if request data arrives via multi-packet RDMA on λ-NIC.
+    uses_rdma: bool = False
+    #: Extra keyword arguments for the factories.
+    nic_kwargs: Dict[str, Any] = field(default_factory=dict)
+    host_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Host worker-pool size per backend kind (None = unbounded). The
+    #: Python runtimes serve GIL-releasing workloads through a small
+    #: thread pool; this is what bounds their CPU use (Table 3).
+    host_max_workers: Optional[Dict[str, int]] = None
+
+    def max_workers_for(self, backend_kind: str) -> Optional[int]:
+        if self.host_max_workers is None:
+            return None
+        return self.host_max_workers.get(backend_kind)
+
+    def nic_program(self, name: Optional[str] = None) -> LambdaProgram:
+        return self.nic_factory(name=name or self.name, **self.nic_kwargs)
+
+    def host_handler(self, rng=None) -> Callable:
+        kwargs = dict(self.host_kwargs)
+        if rng is not None:
+            kwargs.setdefault("rng", rng)
+        return self.host_factory(**kwargs)
+
+
+def web_server_spec(name: str = "web_server") -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        kind="web",
+        nic_factory=web_server_nic,
+        host_factory=web_server_host,
+        code_bytes=1 * MIB,
+        request_bytes=64,
+    )
+
+
+def kv_client_spec(name: str = "kv_client", method: str = "GET") -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        kind="kv",
+        nic_factory=kv_client_nic,
+        host_factory=kv_client_host,
+        code_bytes=1 * MIB,
+        request_bytes=64,
+        nic_kwargs={"method": method},
+        host_kwargs={"method": method},
+    )
+
+
+def image_transformer_spec(
+    name: str = "image_transformer",
+    width: int = 512,
+    height: int = 512,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        kind="image",
+        nic_factory=image_transformer_nic,
+        host_factory=image_transformer_host,
+        code_bytes=1 * MIB,
+        request_bytes=image_bytes(width, height),
+        uses_rdma=True,
+        nic_kwargs={"width": width, "height": height},
+        host_kwargs={"width": width, "height": height},
+        host_max_workers={"bare-metal": 5, "container": 8},
+    )
+
+
+def standard_workloads() -> Dict[str, WorkloadSpec]:
+    """The three benchmark workloads of §6.2."""
+    return {
+        "web_server": web_server_spec(),
+        "kv_client": kv_client_spec(),
+        "image_transformer": image_transformer_spec(),
+    }
+
+
+def fig9_workloads() -> Dict[str, WorkloadSpec]:
+    """The four-lambda set compiled in Figure 9: two kv clients, one
+    web server, one image transformer."""
+    return {
+        "kv_client_get": kv_client_spec("kv_client_get", method="GET"),
+        "kv_client_set": kv_client_spec("kv_client_set", method="SET"),
+        "web_server": web_server_spec(),
+        "image_transformer": image_transformer_spec(),
+    }

@@ -1,0 +1,96 @@
+"""Tests for the DRF allocator."""
+
+import pytest
+
+from repro.core import DrfAllocator, nic_capacities
+
+
+def test_classic_drf_example():
+    """The example from the DRF paper: capacities <9 CPU, 18 GB>,
+    user A tasks need <1, 4>, user B tasks need <3, 1>.
+    DRF gives A three tasks and B two."""
+    allocator = DrfAllocator({"cpu": 9, "memory": 18})
+    allocator.add_user("A", {"cpu": 1, "memory": 4})
+    allocator.add_user("B", {"cpu": 3, "memory": 1})
+    allocation = allocator.allocate()
+    assert allocation == {"A": 3, "B": 2}
+    shares = allocator.dominant_shares()
+    # Both dominant shares equalised at 2/3.
+    assert shares["A"] == pytest.approx(2 / 3)
+    assert shares["B"] == pytest.approx(2 / 3)
+
+
+def test_single_user_gets_everything():
+    allocator = DrfAllocator({"cpu": 4})
+    allocator.add_user("only", {"cpu": 1})
+    assert allocator.allocate() == {"only": 4}
+    assert allocator.utilization()["cpu"] == pytest.approx(1.0)
+
+
+def test_weighted_drf_favours_heavier_user():
+    allocator = DrfAllocator({"cpu": 10})
+    allocator.add_user("heavy", {"cpu": 1}, weight=3.0)
+    allocator.add_user("light", {"cpu": 1}, weight=1.0)
+    allocation = allocator.allocate()
+    assert allocation["heavy"] > allocation["light"]
+    assert allocation["heavy"] + allocation["light"] == 10
+
+
+def test_max_tasks_cap():
+    allocator = DrfAllocator({"cpu": 100})
+    allocator.add_user("a", {"cpu": 1})
+    allocator.add_user("b", {"cpu": 1})
+    allocation = allocator.allocate(max_tasks=6)
+    assert sum(allocation.values()) == 6
+    assert abs(allocation["a"] - allocation["b"]) <= 1
+
+
+def test_no_users_empty_allocation():
+    allocator = DrfAllocator({"cpu": 4})
+    assert allocator.allocate() == {}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DrfAllocator({})
+    with pytest.raises(ValueError):
+        DrfAllocator({"cpu": 0})
+    allocator = DrfAllocator({"cpu": 4})
+    allocator.add_user("a", {"cpu": 1})
+    with pytest.raises(ValueError):
+        allocator.add_user("a", {"cpu": 1})
+    with pytest.raises(ValueError):
+        allocator.add_user("b", {"gpu": 1})
+    with pytest.raises(ValueError):
+        allocator.add_user("c", {})
+    with pytest.raises(ValueError):
+        allocator.add_user("d", {"cpu": -1})
+    with pytest.raises(ValueError):
+        allocator.add_user("e", {"cpu": 1}, weight=0)
+
+
+def test_allocation_never_exceeds_capacity():
+    allocator = DrfAllocator(nic_capacities())
+    allocator.add_user("web", {"threads": 1, "memory_bandwidth_gbps": 0.05,
+                               "instruction_store": 30})
+    allocator.add_user("image", {"threads": 2, "memory_bandwidth_gbps": 1.0,
+                                 "instruction_store": 60})
+    allocator.allocate()
+    for resource, used in allocator.utilization().items():
+        assert used <= 1.0 + 1e-9
+
+
+def test_wfq_weights_sum_to_one():
+    allocator = DrfAllocator({"cpu": 10})
+    allocator.add_user("a", {"cpu": 1})
+    allocator.add_user("b", {"cpu": 2})
+    allocator.allocate()
+    weights = allocator.wfq_weights()
+    assert sum(weights.values()) == pytest.approx(1.0)
+    assert weights["a"] > weights["b"]  # cheaper tasks -> more of them
+
+
+def test_wfq_weights_default_when_unallocated():
+    allocator = DrfAllocator({"cpu": 10})
+    allocator.add_user("a", {"cpu": 1})
+    assert allocator.wfq_weights() == {"a": 1.0}

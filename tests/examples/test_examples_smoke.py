@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples double as end-to-end acceptance tests — several contain their
+own assertions (image verification, counter persistence, etcd
+failover), so running them is a real check, not just an import test.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_examples_directory_complete():
+    present = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "backend_comparison.py",
+        "image_pipeline.py",
+        "custom_lambda.py",
+        "etcd_failover.py",
+        "microc_lambda.py",
+        "run_all_experiments.py",
+    } <= present
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "completed  : 100" in out
+
+
+def test_custom_lambda_runs(capsys):
+    run_example("custom_lambda.py")
+    assert "persistent lambda state verified." in capsys.readouterr().out
+
+
+def test_microc_lambda_runs(capsys):
+    run_example("microc_lambda.py")
+    out = capsys.readouterr().out
+    assert "THROTTLED" in out
+    assert "verified" in out
+
+
+def test_image_pipeline_runs(capsys):
+    run_example("image_pipeline.py")
+    out = capsys.readouterr().out
+    assert "verification      : OK" in out
+
+
+def test_etcd_failover_runs(capsys):
+    run_example("etcd_failover.py")
+    out = capsys.readouterr().out
+    assert "new leader" in out
+    assert "all good" in out

@@ -1,0 +1,68 @@
+"""Tests for the decomposed container overlay path."""
+
+import pytest
+
+from repro.host import (
+    ContainerParams,
+    ContainerRuntime,
+    DEFAULT_COMPONENTS,
+    OverlayComponent,
+    OverlayPath,
+    host_networking_path,
+)
+
+
+def test_default_components_sum_to_flat_constant():
+    """The decomposition must audit to the flat dispatch constant."""
+    path = OverlayPath()
+    params = ContainerParams()
+    assert path.dispatch_seconds == pytest.approx(params.dispatch_seconds)
+    assert path.cpu_seconds == pytest.approx(params.cpu_overhead_seconds)
+
+
+def test_runtime_uses_overlay_when_given():
+    runtime = ContainerRuntime(overlay=OverlayPath())
+    assert runtime.dispatch_seconds == pytest.approx(
+        ContainerParams().dispatch_seconds
+    )
+    slim = ContainerRuntime(overlay=host_networking_path())
+    assert slim.dispatch_seconds < runtime.dispatch_seconds
+
+
+def test_without_removes_components():
+    path = OverlayPath().without("docker_proxy")
+    assert "docker_proxy" not in path.breakdown()
+    assert path.dispatch_seconds == pytest.approx(3.8e-3 - 800e-6)
+
+
+def test_without_unknown_component_raises():
+    with pytest.raises(KeyError):
+        OverlayPath().without("quantum_tunnel")
+
+
+def test_non_removable_component_protected():
+    fixed = OverlayComponent("kernel", 10e-6, removable=False)
+    path = OverlayPath((fixed,))
+    with pytest.raises(ValueError):
+        path.without("kernel")
+
+
+def test_duplicate_components_rejected():
+    duplicate = DEFAULT_COMPONENTS + (DEFAULT_COMPONENTS[0],)
+    with pytest.raises(ValueError):
+        OverlayPath(duplicate)
+
+
+def test_host_networking_keeps_proxy_and_watchdog():
+    path = host_networking_path()
+    names = set(path.breakdown())
+    assert "docker_proxy" in names
+    assert "watchdog_fork" in names
+    assert "overlay_encap" not in names
+    # Host networking removes roughly 0.5 ms of the 3.8 ms path.
+    assert 3.0e-3 < path.dispatch_seconds < 3.5e-3
+
+
+def test_breakdown_ordering_preserved():
+    path = OverlayPath()
+    assert list(path.breakdown()) == [c.name for c in DEFAULT_COMPONENTS]

@@ -1,0 +1,259 @@
+"""Tests for the host server backend datapath."""
+
+import pytest
+
+from repro.host import (
+    BareMetalRuntime,
+    ContainerRuntime,
+    HostServer,
+    ServiceTimeout,
+)
+from repro.net import (
+    EthernetHeader,
+    HeaderStack,
+    IPv4Header,
+    LambdaHeader,
+    Network,
+    Packet,
+    RpcHeader,
+    UDPHeader,
+)
+from repro.sim import Environment
+
+
+def lambda_packet(wid, request_id=1, src="client", dst="worker"):
+    return Packet(
+        src, dst,
+        HeaderStack([
+            EthernetHeader(), IPv4Header(), UDPHeader(),
+            LambdaHeader(wid=wid, request_id=request_id),
+        ]),
+        payload_bytes=64,
+    )
+
+
+def simple_handler(ctx):
+    yield ctx.compute(100e-6)
+    ctx.response_bytes = 200
+    ctx.response_meta["ok"] = 1
+
+
+def make_setup(runtime=None, **deploy_kwargs):
+    env = Environment()
+    network = Network(env)
+    client = network.add_node("client")
+    worker_node = network.add_node("worker")
+    server = HostServer(env, worker_node)
+    server.deploy(
+        "web", wid=1, handler=simple_handler,
+        runtime=runtime or BareMetalRuntime(), **deploy_kwargs,
+    )
+    return env, network, client, server
+
+
+def test_request_response_roundtrip():
+    env, network, client, server = make_setup()
+    responses = []
+    client.attach(lambda p: responses.append((p, env.now)))
+    client.send(lambda_packet(wid=1, request_id=5))
+    env.run()
+    assert len(responses) == 1
+    response, at = responses[0]
+    assert response.headers.require("LambdaHeader").is_response
+    assert response.meta["lambda_meta"]["ok"] == 1
+    assert response.payload_bytes == 200
+    # Host path: kernel + dispatch + compute -> hundreds of microseconds.
+    assert 100e-6 < at < 5e-3
+
+
+def test_container_slower_than_bare_metal():
+    def run(runtime):
+        env, network, client, server = make_setup(runtime=runtime)
+        times = []
+        client.attach(lambda p: times.append(env.now))
+        client.send(lambda_packet(wid=1))
+        env.run()
+        return times[0]
+
+    assert run(ContainerRuntime()) > 5 * run(BareMetalRuntime())
+
+
+def test_unknown_wid_dropped():
+    env, network, client, server = make_setup()
+    client.attach(lambda p: None)
+    client.send(lambda_packet(wid=99))
+    env.run()
+    assert server.stats.dropped_unknown == 1
+    assert server.stats.requests_served == 0
+
+
+def test_cold_deployment_drops_until_started():
+    env, network, client, server = make_setup(warm=False)
+    responses = []
+    client.attach(lambda p: responses.append(p))
+
+    def scenario(env):
+        client.send(lambda_packet(wid=1))
+        yield env.timeout(1.0)
+        yield server.start("web")
+        client.send(lambda_packet(wid=1))
+
+    env.process(scenario(env))
+    env.run()
+    assert server.stats.dropped_cold == 1
+    assert len(responses) == 1
+
+
+def test_startup_time_depends_on_runtime():
+    env, network, client, server = make_setup(warm=False)
+    start = server.start("web")
+    env.run(until=start)
+    assert 3.0 < env.now < 10.0  # bare-metal startup window
+
+
+def test_duplicate_deploy_rejected():
+    env, network, client, server = make_setup()
+    with pytest.raises(ValueError):
+        server.deploy("web", wid=7, handler=simple_handler,
+                      runtime=BareMetalRuntime())
+    with pytest.raises(ValueError):
+        server.deploy("other", wid=1, handler=simple_handler,
+                      runtime=BareMetalRuntime())
+
+
+def test_undeploy_frees_memory():
+    env, network, client, server = make_setup()
+    used = server.memory.used_bytes
+    assert used > 0
+    server.undeploy("web")
+    assert server.memory.used_bytes == 0
+
+
+def test_max_workers_serialises_requests():
+    env = Environment()
+    network = Network(env)
+    client = network.add_node("client")
+    worker_node = network.add_node("worker")
+    server = HostServer(env, worker_node)
+
+    def slow_handler(ctx):
+        yield ctx.compute(1e-3)
+
+    server.deploy("slow", wid=1, handler=slow_handler,
+                  runtime=BareMetalRuntime(), max_workers=1)
+    times = []
+    client.attach(lambda p: times.append(env.now))
+    for index in range(3):
+        client.send(lambda_packet(wid=1, request_id=index))
+    env.run()
+    assert len(times) == 3
+    # Strictly serialised: ~1 ms apart.
+    assert times[1] - times[0] > 0.9e-3
+    assert times[2] - times[1] > 0.9e-3
+
+
+def test_call_service_roundtrip():
+    env = Environment()
+    network = Network(env)
+    client = network.add_node("client")
+    worker_node = network.add_node("worker")
+    cache_node = network.add_node("cache")
+    server = HostServer(env, worker_node)
+
+    def cache_service(packet):
+        reply = Packet(
+            "cache", packet.src,
+            HeaderStack([
+                EthernetHeader(), IPv4Header(), UDPHeader(),
+                LambdaHeader(
+                    request_id=packet.headers.require("LambdaHeader").request_id,
+                    is_response=True,
+                ),
+                RpcHeader(method="resp", status=0),
+            ]),
+            payload_bytes=100,
+        )
+        cache_node.send(reply)
+
+    cache_node.attach(cache_service)
+
+    def kv_handler(ctx):
+        response = yield ctx.call("cache", method="GET", key="user1")
+        ctx.response_meta["cache_status"] = \
+            response.headers.require("RpcHeader").status
+        yield ctx.compute(50e-6)
+
+    server.deploy("kv", wid=2, handler=kv_handler, runtime=BareMetalRuntime())
+    responses = []
+    client.attach(lambda p: responses.append(p))
+    client.send(lambda_packet(wid=2))
+    env.run()
+    assert len(responses) == 1
+    assert responses[0].meta["lambda_meta"]["cache_status"] == 0
+    assert cache_node.rx_packets == 1
+
+
+def test_call_service_times_out_and_raises():
+    env = Environment()
+    network = Network(env)
+    client = network.add_node("client")
+    worker_node = network.add_node("worker")
+    dead_node = network.add_node("dead")
+    dead_node.attach(lambda p: None)  # Never replies.
+    server = HostServer(env, worker_node)
+    outcomes = []
+
+    def kv_handler(ctx):
+        try:
+            yield ctx.call("dead", timeout=0.01, retries=2)
+        except ServiceTimeout:
+            outcomes.append("timeout")
+        yield ctx.compute(10e-6)
+
+    server.deploy("kv", wid=2, handler=kv_handler, runtime=BareMetalRuntime())
+    client.attach(lambda p: None)
+    client.send(lambda_packet(wid=2))
+    env.run()
+    assert outcomes == ["timeout"]
+    assert dead_node.rx_packets == 3  # initial + 2 retries
+
+
+def test_call_service_retries_on_loss_then_succeeds():
+    env = Environment()
+    network = Network(env)
+    client = network.add_node("client")
+    worker_node = network.add_node("worker")
+    flaky_node = network.add_node("flaky")
+    server = HostServer(env, worker_node)
+    seen = []
+
+    def flaky_service(packet):
+        seen.append(packet)
+        if len(seen) < 2:
+            return  # Drop the first request.
+        reply = Packet(
+            "flaky", packet.src,
+            HeaderStack([
+                EthernetHeader(), IPv4Header(), UDPHeader(),
+                LambdaHeader(
+                    request_id=packet.headers.require("LambdaHeader").request_id,
+                    is_response=True,
+                ),
+            ]),
+            payload_bytes=50,
+        )
+        flaky_node.send(reply)
+
+    flaky_node.attach(flaky_service)
+
+    def handler(ctx):
+        yield ctx.call("flaky", timeout=0.01)
+        ctx.response_meta["done"] = 1
+
+    server.deploy("kv", wid=2, handler=handler, runtime=BareMetalRuntime())
+    responses = []
+    client.attach(lambda p: responses.append(p))
+    client.send(lambda_packet(wid=2))
+    env.run()
+    assert responses[0].meta["lambda_meta"]["done"] == 1
+    assert len(seen) == 2

@@ -1,0 +1,107 @@
+"""Integration: multi-worker fleets and gateway routing behaviour."""
+
+import pytest
+
+from repro.serverless import Testbed, closed_loop
+from repro.workloads import image_transformer_spec, web_server_spec
+
+
+def test_requests_round_robin_across_nic_fleet():
+    tb = Testbed(seed=41, n_workers=4)
+    tb.add_lambda_nic_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        result = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                   n_requests=40)
+        return result
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    assert process.value.completed == 40
+    served = [nic.stats.requests_served for nic in tb.nics]
+    assert served == [10, 10, 10, 10]
+
+
+def test_all_nics_carry_same_firmware():
+    tb = Testbed(seed=42, n_workers=3)
+    tb.add_lambda_nic_backend()
+
+    def scenario(env):
+        yield tb.manager.deploy(web_server_spec(), "lambda-nic")
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    firmwares = {id(nic.firmware) for nic in tb.nics}
+    assert len(firmwares) == 1
+    assert all(nic.firmware is tb.nic_runtime.firmware for nic in tb.nics)
+
+
+def test_rdma_image_round_robins_and_reassembles_per_nic():
+    tb = Testbed(seed=43, n_workers=2)
+    tb.add_lambda_nic_backend()
+    spec = image_transformer_spec(width=64, height=64)
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        result = yield closed_loop(
+            tb.env, tb.gateway, spec.name, n_requests=4,
+            payload_bytes=spec.request_bytes,
+        )
+        return result
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    assert process.value.completed == 4
+    # Segments of one message all went to the same NIC (2 messages each).
+    for nic in tb.nics:
+        assert nic.stats.rdma_messages == 2
+        assert nic.stats.rdma_segments == 2 * (spec.request_bytes // 4096)
+
+
+def test_host_backend_spreads_over_workers():
+    tb = Testbed(seed=44, n_workers=2)
+    tb.add_bare_metal_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "bare-metal")
+        result = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                   n_requests=20, concurrency=4)
+        return result
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    assert process.value.completed == 20
+    served = [server.stats.requests_served
+              for server in tb.host_servers("bare-metal")]
+    assert sum(served) == 20
+    assert all(count > 0 for count in served)
+
+
+def test_mixed_backends_coexist():
+    """One framework can host all three backends at once (paper §6.1.1:
+    'the baseline framework can simultaneously deploy lambdas to
+    containers, bare-metal, and SmartNIC backends')."""
+    tb = Testbed(seed=45, n_workers=2)
+    tb.add_lambda_nic_backend()
+    tb.add_bare_metal_backend()
+    tb.add_container_backend()
+
+    def scenario(env):
+        yield tb.manager.deploy(web_server_spec("on_nic"), "lambda-nic")
+        yield tb.manager.deploy(web_server_spec("on_bare"), "bare-metal")
+        yield tb.manager.deploy(web_server_spec("on_ctr"), "container")
+        results = {}
+        for name in ["on_nic", "on_bare", "on_ctr"]:
+            results[name] = yield closed_loop(tb.env, tb.gateway, name,
+                                              n_requests=10)
+        return results
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    results = process.value
+    assert all(result.completed == 10 for result in results.values())
+    assert results["on_nic"].mean_latency < results["on_bare"].mean_latency
+    assert results["on_bare"].mean_latency < results["on_ctr"].mean_latency

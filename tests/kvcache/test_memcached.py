@@ -1,0 +1,122 @@
+"""Tests for the memcached-like server and client."""
+
+import pytest
+
+from repro.kvcache import MemcachedClient, MemcachedServer, STATUS_MISS, STATUS_OK
+from repro.net import Network
+from repro.sim import Environment
+
+
+def make_setup(**server_kwargs):
+    env = Environment()
+    network = Network(env)
+    server_node = network.add_node("memcached")
+    client_node = network.add_node("app")
+    server = MemcachedServer(env, server_node, **server_kwargs)
+    client = MemcachedClient(env, client_node, "memcached")
+    return env, server, client
+
+
+def run(env, gen):
+    process = env.process(gen)
+    env.run(until=process)
+    return process.value
+
+
+def test_set_then_get():
+    env, server, client = make_setup()
+
+    def scenario():
+        status = yield client.set("user:1", b"alice")
+        assert status == STATUS_OK
+        status, value = yield client.get("user:1")
+        assert status == STATUS_OK
+        assert value == b"alice"
+
+    run(env, scenario())
+    assert server.stats.sets == 1
+    assert server.stats.hits == 1
+
+
+def test_get_miss():
+    env, server, client = make_setup()
+
+    def scenario():
+        status, value = yield client.get("ghost")
+        assert status == STATUS_MISS
+        assert value is None
+
+    run(env, scenario())
+    assert server.stats.misses == 1
+    assert server.stats.hit_rate == 0.0
+
+
+def test_delete():
+    env, server, client = make_setup()
+
+    def scenario():
+        yield client.set("k", b"v")
+        assert (yield client.delete("k")) == STATUS_OK
+        assert (yield client.delete("k")) == STATUS_MISS
+
+    run(env, scenario())
+    assert server.stats.deletes == 2
+
+
+def test_service_time_scales_with_size():
+    env, server, client = make_setup(
+        base_service_seconds=1e-6, per_kib_seconds=100e-6
+    )
+    times = {}
+
+    def scenario():
+        start = env.now
+        yield client.set("small", b"x")
+        times["small"] = env.now - start
+        start = env.now
+        yield client.set("big", b"x" * 64 * 1024)
+        times["big"] = env.now - start
+
+    run(env, scenario())
+    assert times["big"] > 5 * times["small"]
+
+
+def test_eviction_under_capacity_pressure():
+    env, server, client = make_setup(capacity_bytes=1000)
+
+    def scenario():
+        yield client.set("a", b"x" * 600)
+        yield client.set("b", b"y" * 600)
+
+    run(env, scenario())
+    assert "a" not in server.data  # evicted FIFO
+    assert "b" in server.data
+
+
+def test_hit_rate():
+    env, server, client = make_setup()
+
+    def scenario():
+        yield client.set("k", b"v")
+        yield client.get("k")
+        yield client.get("k")
+        yield client.get("nope")
+
+    run(env, scenario())
+    assert server.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_client_timeout_raises():
+    env = Environment()
+    network = Network(env)
+    network.add_node("memcached").attach(lambda p: None)  # black hole
+    client_node = network.add_node("app")
+    client = MemcachedClient(env, client_node, "memcached",
+                             timeout=0.01, retries=1)
+
+    def scenario():
+        with pytest.raises(TimeoutError):
+            yield client.get("k")
+
+    process = env.process(scenario())
+    env.run(until=process)

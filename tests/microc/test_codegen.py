@@ -1,0 +1,244 @@
+"""Tests for Micro-C code generation: compile and execute for real."""
+
+import pytest
+
+from repro.isa import Interpreter, Region, VERDICT_FORWARD
+from repro.microc import CodegenError, compile_microc
+
+
+def run(source, headers=None, meta=None, memory=None, name=None):
+    program = compile_microc(source, name=name)
+    program.validate()
+    result = Interpreter().run(program, headers=headers or {},
+                               meta=meta or {}, memory=memory)
+    return program, result
+
+
+def test_arithmetic_and_return():
+    _, result = run("int f() { return (6 + 2) * 5; }")
+    assert result.return_value == 40
+
+
+def test_locals_and_expressions():
+    _, result = run("""
+        int f() {
+            int a = 10;
+            int b = a * 3;
+            int c = b - a;
+            return c + (a & 2);
+        }
+    """)
+    assert result.return_value == 22
+
+
+def test_header_and_meta_access():
+    _, result = run(
+        """
+        int f() {
+            int wid = hdr.LambdaHeader.wid;
+            meta.seen = wid + 100;
+            hdr.LambdaHeader.is_response = 1;
+            return wid;
+        }
+        """,
+        headers={"LambdaHeader": {"wid": 7}},
+    )
+    assert result.return_value == 7
+    assert result.meta["seen"] == 107
+    assert result.headers["LambdaHeader"]["is_response"] == 1
+
+
+def test_if_else_both_paths():
+    source = """
+        int f() {
+            if (meta.x > 10) { return 1; }
+            else { return 2; }
+        }
+    """
+    assert run(source, meta={"x": 11})[1].return_value == 1
+    assert run(source, meta={"x": 10})[1].return_value == 2
+
+
+def test_all_relational_operators():
+    for op, true_pair, false_pair in [
+        ("==", (5, 5), (5, 6)),
+        ("!=", (5, 6), (5, 5)),
+        ("<", (4, 5), (5, 5)),
+        ("<=", (5, 5), (6, 5)),
+        (">", (6, 5), (5, 5)),
+        (">=", (5, 5), (4, 5)),
+    ]:
+        source = f"int f() {{ if (meta.a {op} meta.b) {{ return 1; }} return 0; }}"
+        assert run(source, meta={"a": true_pair[0], "b": true_pair[1]})[1] \
+            .return_value == 1, op
+        assert run(source, meta={"a": false_pair[0], "b": false_pair[1]})[1] \
+            .return_value == 0, op
+
+
+def test_while_loop_sums():
+    _, result = run("""
+        int f() {
+            int i = 0;
+            int total = 0;
+            while (i < 10) {
+                total = total + i;
+                i = i + 1;
+            }
+            return total;
+        }
+    """)
+    assert result.return_value == 45
+
+
+def test_global_word_array_persistence():
+    source = """
+        uint64_t counts[4];
+        int f() {
+            int idx = hdr.LambdaHeader.request_id & 3;
+            counts[idx] = counts[idx] + 1;
+            return counts[idx];
+        }
+    """
+    program = compile_microc(source)
+    memory = {"counts": bytearray(32)}
+    interp = Interpreter()
+    for expected in [1, 2, 3]:
+        result = interp.run(program, headers={"LambdaHeader": {"request_id": 1}},
+                            memory=memory)
+        assert result.return_value == expected
+
+
+def test_function_calls():
+    _, result = run("""
+        int helper() { return 21; }
+        int f() {
+            int x = helper();
+            return x * 2;
+        }
+    """, name="f")
+    assert result.return_value == 42
+
+
+def test_reply_builtin_sets_response():
+    _, result = run("int f() { reply(256); return 0; }")
+    assert result.verdict == VERDICT_FORWARD
+    assert result.meta["response_bytes"] == 256
+    assert result.headers["LambdaHeader"]["is_response"] == 1
+
+
+def test_memcpy_builtin():
+    source = """
+        uint8_t src[16];
+        uint8_t dst[16];
+        int f() { memcpy(dst, src, 16); forward(); return 0; }
+    """
+    program = compile_microc(source)
+    memory = {"src": bytearray(b"abcdefghijklmnop"), "dst": bytearray(16)}
+    Interpreter().run(program, memory=memory)
+    assert bytes(memory["dst"]) == b"abcdefghijklmnop"
+
+
+def test_intrinsic_call_from_source():
+    from repro.workloads import grayscale_reference, make_rgba_image
+
+    source = """
+        uint8_t image[1024];
+        int f() {
+            grayscale(image, 256);
+            reply(64);
+            return 0;
+        }
+    """
+    program = compile_microc(source)
+    rgba = make_rgba_image(16, 16, seed=2)
+    memory = {"image": bytearray(rgba)}
+    Interpreter().run(program, memory=memory)
+    assert bytes(memory["image"][:256]) == grayscale_reference(rgba)
+
+
+def test_pragma_hot_propagates():
+    program = compile_microc("""
+        #pragma hot state
+        uint64_t state[2];
+        int f() { state[0] = 1; return 0; }
+    """)
+    assert program.object("state").hot
+
+
+def test_readonly_pragma_sets_access():
+    from repro.isa import AccessMode
+
+    program = compile_microc("""
+        #pragma readonly content
+        uint8_t content[64];
+        uint8_t out[64];
+        int f() { memcpy(out, content, 64); return 0; }
+    """)
+    assert program.object("content").access is AccessMode.READ
+
+
+def test_division_rejected():
+    with pytest.raises(CodegenError, match="divide"):
+        compile_microc("int f() { return 10 / 2; }")
+
+
+def test_recursion_rejected():
+    with pytest.raises(CodegenError, match="recursion"):
+        compile_microc("""
+            int a() { return b(); }
+            int b() { return a(); }
+        """)
+
+
+def test_too_many_locals_rejected():
+    declarations = "".join(f"int v{i} = {i};" for i in range(8))
+    with pytest.raises(CodegenError, match="too many locals"):
+        compile_microc(f"int f() {{ {declarations} return 0; }}")
+
+
+def test_byte_array_indexing_rejected():
+    with pytest.raises(CodegenError, match="word array"):
+        compile_microc("""
+            uint8_t buf[16];
+            int f() { return buf[0]; }
+        """)
+
+
+def test_unknown_builtin_rejected():
+    with pytest.raises(CodegenError, match="unknown function"):
+        compile_microc("int f() { frobnicate(); return 0; }")
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(CodegenError, match="undeclared"):
+        compile_microc("int f() { return ghost; }")
+
+
+def test_compiled_lambda_deploys_on_nic():
+    """End to end: Micro-C source -> firmware -> request -> response."""
+    from repro.compiler import CompilationUnit, compile_unit
+
+    program = compile_microc("""
+        uint64_t hits[8];
+        int web() {
+            int idx = hdr.LambdaHeader.request_id & 7;
+            hits[idx] = hits[idx] + 1;
+            meta.count = hits[idx];
+            reply(128);
+            return 0;
+        }
+    """, name="web")
+    unit = CompilationUnit()
+    unit.add_lambda(program, wid=1)
+    firmware = compile_unit(unit)
+    result = Interpreter().run(
+        firmware.program,
+        headers={"LambdaHeader": {"wid": 1, "request_id": 3}},
+        meta={"has_LambdaHeader": 1},
+    )
+    assert result.verdict == "forward"
+    assert result.meta["count"] == 1
+    # The hot word array was stratified into close memory.
+    assert firmware.program.object("web.hits").region in (
+        Region.LOCAL, Region.CTM,
+    )

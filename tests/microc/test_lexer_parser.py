@@ -1,0 +1,161 @@
+"""Tests for the Micro-C lexer and parser."""
+
+import pytest
+
+from repro.microc import (
+    BinOp,
+    GlobalArray,
+    HeaderField,
+    If,
+    Index,
+    LexError,
+    MetaField,
+    Number,
+    ParseError,
+    Return,
+    Var,
+    While,
+    parse,
+    tokenize,
+)
+
+
+def test_tokenize_basics():
+    tokens = tokenize("int x = 42;")
+    kinds = [(token.kind, token.value) for token in tokens]
+    assert kinds == [
+        ("keyword", "int"), ("ident", "x"), ("op", "="),
+        ("number", "42"), ("op", ";"), ("eof", ""),
+    ]
+
+
+def test_tokenize_hex_and_operators():
+    tokens = tokenize("a << 0x1F == b")
+    values = [token.value for token in tokens[:-1]]
+    assert values == ["a", "<<", "0x1F", "==", "b"]
+
+
+def test_tokenize_comments_and_lines():
+    tokens = tokenize("// line comment\nint a; /* block\ncomment */ int b;")
+    idents = [token.value for token in tokens if token.kind == "ident"]
+    assert idents == ["a", "b"]
+    assert tokens[0].line == 2  # first real token after the comment
+
+
+def test_tokenize_rejects_floats():
+    with pytest.raises(LexError, match="floating-point"):
+        tokenize("int x = 1.5;")
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(LexError):
+        tokenize("int x = @;")
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize("/* never closed")
+
+
+def test_parse_global_array_with_pragmas():
+    program = parse("""
+        #pragma hot counters
+        #pragma readonly content
+        uint64_t counters[16];
+        uint8_t content[4096];
+        void f() { }
+    """)
+    counters, content = program.globals
+    assert counters == GlobalArray("uint64_t", "counters", 16, hot=True)
+    assert content.read_only
+    assert content.size_bytes == 4096
+    assert counters.size_bytes == 128
+
+
+def test_parse_function_with_statements():
+    program = parse("""
+        int handler() {
+            int x = hdr.LambdaHeader.request_id & 7;
+            meta.out = x;
+            return x;
+        }
+    """)
+    function = program.functions[0]
+    assert function.name == "handler"
+    decl, assign, ret = function.body
+    assert isinstance(decl.value, BinOp)
+    assert isinstance(decl.value.left, HeaderField)
+    assert isinstance(assign.target, MetaField)
+    assert isinstance(ret, Return)
+
+
+def test_parse_if_else_chain():
+    program = parse("""
+        void f() {
+            if (meta.x == 1) { forward(); }
+            else if (meta.x == 2) { drop(); }
+            else { to_host(); }
+        }
+    """)
+    statement = program.functions[0].body[0]
+    assert isinstance(statement, If)
+    assert isinstance(statement.orelse[0], If)
+
+
+def test_parse_while_and_index():
+    program = parse("""
+        uint64_t table[8];
+        void f() {
+            int i = 0;
+            while (i < 8) {
+                table[i] = i;
+                i = i + 1;
+            }
+        }
+    """)
+    loop = program.functions[0].body[1]
+    assert isinstance(loop, While)
+    assert isinstance(loop.body[0].target, Index)
+
+
+def test_parse_operator_precedence():
+    program = parse("void f() { meta.x = 1 + 2 * 3; }")
+    value = program.functions[0].body[0].value
+    assert value.op == "+"
+    assert value.right.op == "*"
+
+
+def test_parse_parentheses_override():
+    program = parse("void f() { meta.x = (1 + 2) * 3; }")
+    value = program.functions[0].body[0].value
+    assert value.op == "*"
+    assert value.left.op == "+"
+
+
+def test_parse_rejects_parameters():
+    with pytest.raises(ParseError, match="no parameters"):
+        parse("int f(int x) { return x; }")
+
+
+def test_parse_rejects_compound_conditions():
+    with pytest.raises(ParseError):
+        parse("void f() { if (meta.a == 1 && meta.b == 2) { } }")
+    with pytest.raises(ParseError, match="single comparison"):
+        parse("void f() { if (meta.a) { } }")
+
+
+def test_parse_rejects_local_arrays():
+    with pytest.raises(ParseError, match="global object"):
+        parse("void f() { int x[4]; }")
+
+
+def test_parse_rejects_bad_assignment_target():
+    with pytest.raises(ParseError, match="assignment target"):
+        parse("void f() { 5 = 3; }")
+
+
+def test_parse_rejects_unknown_pragma():
+    with pytest.raises(ParseError, match="pragma"):
+        parse("#pragma inline everything\nvoid f() { }")
+
+
+def test_parse_requires_semicolons():
+    with pytest.raises(ParseError):
+        parse("void f() { meta.x = 1 }")

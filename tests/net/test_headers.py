@@ -1,0 +1,84 @@
+"""Tests for header types and the header stack."""
+
+import pytest
+
+from repro.net import (
+    EthernetHeader,
+    HeaderStack,
+    IPv4Header,
+    LambdaHeader,
+    UDPHeader,
+    header_class,
+)
+
+
+def standard_stack():
+    return HeaderStack(
+        [EthernetHeader(), IPv4Header(src_ip="10.0.0.1", dst_ip="10.0.0.2"), UDPHeader()]
+    )
+
+
+def test_header_sizes():
+    assert EthernetHeader().size_bytes == 14
+    assert IPv4Header().size_bytes == 20
+    assert UDPHeader().size_bytes == 8
+    assert LambdaHeader().size_bytes == 16
+
+
+def test_stack_size_is_sum():
+    stack = standard_stack()
+    assert stack.size_bytes == 14 + 20 + 8
+
+
+def test_stack_get_and_require():
+    stack = standard_stack()
+    assert stack.get("IPv4Header").dst_ip == "10.0.0.2"
+    assert stack.get("LambdaHeader") is None
+    with pytest.raises(KeyError):
+        stack.require("LambdaHeader")
+
+
+def test_stack_push_and_contains():
+    stack = standard_stack()
+    stack.push(LambdaHeader(wid=7))
+    assert "LambdaHeader" in stack
+    assert stack.require("LambdaHeader").wid == 7
+
+
+def test_insert_after():
+    stack = standard_stack()
+    stack.insert_after("UDPHeader", LambdaHeader(wid=3))
+    names = [header.name for header in stack]
+    assert names == ["EthernetHeader", "IPv4Header", "UDPHeader", "LambdaHeader"]
+
+
+def test_insert_after_missing_raises():
+    stack = standard_stack()
+    with pytest.raises(KeyError):
+        stack.insert_after("TCPHeader", LambdaHeader())
+
+
+def test_remove():
+    stack = standard_stack()
+    removed = stack.remove("UDPHeader")
+    assert removed.name == "UDPHeader"
+    assert "UDPHeader" not in stack
+    with pytest.raises(KeyError):
+        stack.remove("UDPHeader")
+
+
+def test_copy_is_independent():
+    stack = standard_stack()
+    clone = stack.copy()
+    clone.require("IPv4Header").dst_ip = "changed"
+    assert stack.require("IPv4Header").dst_ip == "10.0.0.2"
+
+
+def test_header_class_lookup():
+    assert header_class("LambdaHeader") is LambdaHeader
+    with pytest.raises(KeyError):
+        header_class("NoSuchHeader")
+
+
+def test_field_names():
+    assert "wid" in LambdaHeader().field_names()

@@ -1,0 +1,172 @@
+"""Tests for links, the switch, and the network topology builder."""
+
+import pytest
+
+from repro.sim import Environment, RngRegistry
+from repro.net import HeaderStack, Link, Network, Packet, UDPHeader
+
+
+def make_packet(src, dst, payload_bytes=100):
+    return Packet(src, dst, HeaderStack([UDPHeader()]), payload_bytes=payload_bytes)
+
+
+def test_link_serialization_plus_propagation():
+    env = Environment()
+    received = []
+    link = Link(env, "a", "b", bandwidth_bps=1e9, propagation_delay=1e-6)
+    link.attach("a", lambda p: None)
+    link.attach("b", lambda p: received.append((p, env.now)))
+
+    packet = make_packet("a", "b", payload_bytes=992)  # 1000 B total
+    link.send("a", packet)
+    env.run()
+    # 1000 B at 1 Gb/s = 8 us serialization + 1 us propagation.
+    assert received[0][1] == pytest.approx(9e-6)
+
+
+def test_link_back_to_back_packets_queue():
+    env = Environment()
+    times = []
+    link = Link(env, "a", "b", bandwidth_bps=1e9, propagation_delay=0.0)
+    link.attach("b", lambda p: times.append(env.now))
+    for _ in range(3):
+        link.send("a", make_packet("a", "b", payload_bytes=992))
+    env.run()
+    assert times == pytest.approx([8e-6, 16e-6, 24e-6])
+
+
+def test_link_is_full_duplex():
+    env = Environment()
+    arrivals = []
+    link = Link(env, "a", "b", bandwidth_bps=1e9, propagation_delay=0.0)
+    link.attach("a", lambda p: arrivals.append(("a", env.now)))
+    link.attach("b", lambda p: arrivals.append(("b", env.now)))
+    link.send("a", make_packet("a", "b", payload_bytes=992))
+    link.send("b", make_packet("b", "a", payload_bytes=992))
+    env.run()
+    # Both directions complete at the same time: no shared serializer.
+    assert arrivals[0][1] == arrivals[1][1] == pytest.approx(8e-6)
+
+
+def test_link_drop_probability():
+    env = Environment()
+    rng = RngRegistry(seed=1).stream("link")
+    received = []
+    link = Link(
+        env, "a", "b", bandwidth_bps=1e9, propagation_delay=0.0,
+        drop_probability=0.5, rng=rng,
+    )
+    link.attach("b", lambda p: received.append(p))
+    for _ in range(200):
+        link.send("a", make_packet("a", "b"))
+    env.run()
+    assert 60 < len(received) < 140
+    assert link.stats("a").packets_dropped == 200 - len(received)
+
+
+def test_link_argument_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Link(env, "a", "b", bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        Link(env, "a", "b", propagation_delay=-1)
+    with pytest.raises(ValueError):
+        Link(env, "a", "b", drop_probability=0.5)  # rng required
+    link = Link(env, "a", "b")
+    with pytest.raises(ValueError):
+        link.send("c", make_packet("c", "b"))
+    with pytest.raises(ValueError):
+        link.attach("c", lambda p: None)
+
+
+def test_network_end_to_end_delivery():
+    env = Environment()
+    network = Network(env)
+    received = []
+    a = network.add_node("m1")
+    b = network.add_node("m2")
+    a.attach(lambda p: None)
+    b.attach(lambda p: received.append((p.payload, env.now)))
+
+    a.send(Packet("m1", "m2", HeaderStack([UDPHeader()]), payload="hello",
+                  payload_bytes=50))
+    env.run()
+    assert len(received) == 1
+    assert received[0][0] == "hello"
+    assert received[0][1] > 0
+
+
+def test_network_latency_components():
+    env = Environment()
+    network = Network(
+        env, bandwidth_bps=10e9, propagation_delay=1e-6, switching_latency=2e-6
+    )
+    arrival = []
+    a = network.add_node("m1")
+    b = network.add_node("m2")
+    b.attach(lambda p: arrival.append(env.now))
+    packet = Packet("m1", "m2", HeaderStack([UDPHeader()]), payload_bytes=1242)
+    # 1250 B at 10 Gb/s = 1 us serialization per hop; two hops; two
+    # propagations of 1 us; one switching latency of 2 us.
+    a.send(packet)
+    env.run()
+    assert arrival[0] == pytest.approx(1e-6 + 1e-6 + 2e-6 + 1e-6 + 1e-6)
+
+
+def test_network_duplicate_node_rejected():
+    env = Environment()
+    network = Network(env)
+    network.add_node("m1")
+    with pytest.raises(ValueError):
+        network.add_node("m1")
+
+
+def test_network_unknown_destination_dropped():
+    env = Environment()
+    network = Network(env)
+    a = network.add_node("m1")
+    a.attach(lambda p: None)
+    a.send(make_packet("m1", "ghost"))
+    env.run()
+    assert network.switch.stats.packets_dropped_unknown == 1
+
+
+def test_packet_trace_stamps():
+    env = Environment()
+    network = Network(env)
+    a = network.add_node("m1")
+    b = network.add_node("m2")
+    b.attach(lambda p: None)
+    packet = make_packet("m1", "m2")
+    a.send(packet)
+    env.run()
+    locations = [location for location, _ in packet.trace]
+    assert locations[0] == "m1"
+    assert "switch" in locations
+
+
+def test_packet_size_accounting():
+    packet = make_packet("a", "b", payload_bytes=100)
+    assert packet.size_bytes == 108
+    assert packet.size_bits == 864
+    with pytest.raises(ValueError):
+        Packet("a", "b", payload_bytes=-1)
+
+
+def test_packet_copy_fresh_id():
+    packet = make_packet("a", "b")
+    clone = packet.copy()
+    assert clone.packet_id != packet.packet_id
+    assert clone.size_bytes == packet.size_bytes
+
+
+def test_node_counters():
+    env = Environment()
+    network = Network(env)
+    a = network.add_node("m1")
+    b = network.add_node("m2")
+    b.attach(lambda p: None)
+    a.send(make_packet("m1", "m2"))
+    env.run()
+    assert a.tx_packets == 1
+    assert b.rx_packets == 1

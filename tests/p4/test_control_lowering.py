@@ -1,0 +1,183 @@
+"""Tests for control-block execution, dispatch pipeline, and lowering."""
+
+import pytest
+
+from repro.isa import Function, Interpreter, LambdaProgram, Op, ProgramBuilder, ins
+from repro.p4 import (
+    Action,
+    ApplyTable,
+    CTRL_FORWARD,
+    CTRL_TO_HOST,
+    ControlBlock,
+    IfFieldEq,
+    IfValid,
+    InvokeLambda,
+    SendToHost,
+    Table,
+    build_dispatch_pipeline,
+    lower_control,
+    lower_table_if_else,
+    lower_table_naive,
+    make_route_table,
+    merge_route_tables,
+)
+
+
+def dispatch_control(ids):
+    pipeline = build_dispatch_pipeline(ids, headers_used=[])
+    return pipeline.control
+
+
+def test_control_dispatches_matching_lambda():
+    control = dispatch_control({"web": 1, "kv": 2})
+    invoked = []
+
+    def invoke(name):
+        invoked.append(name)
+        return CTRL_FORWARD
+
+    verdict = control.execute(
+        {"LambdaHeader": {"wid": 2}}, {}, invoke
+    )
+    assert verdict == CTRL_FORWARD
+    assert invoked == ["kv"]
+
+
+def test_control_unknown_wid_goes_to_host():
+    control = dispatch_control({"web": 1})
+    verdict = control.execute({"LambdaHeader": {"wid": 42}}, {}, lambda n: CTRL_FORWARD)
+    assert verdict == CTRL_TO_HOST
+
+
+def test_control_no_lambda_header_goes_to_host():
+    control = dispatch_control({"web": 1})
+    verdict = control.execute({"UDPHeader": {}}, {}, lambda n: CTRL_FORWARD)
+    assert verdict == CTRL_TO_HOST
+
+
+def test_control_tables_and_lambdas_discovered():
+    control = dispatch_control({"web": 1, "kv": 2})
+    assert len(control.tables()) == 2  # one naive route table per lambda
+    assert sorted(control.invoked_lambdas()) == ["kv", "web"]
+
+
+def test_merged_routes_pipeline_single_table():
+    pipeline = build_dispatch_pipeline(
+        {"web": 1, "kv": 2}, headers_used=[], merged_routes=True
+    )
+    tables = pipeline.control.tables()
+    assert len(tables) == 1
+    assert tables[0].size == 2
+
+
+def test_route_table_roundtrip():
+    table = make_route_table("route_web", wid=5, port="w3")
+    meta = {}
+    table.lookup({"LambdaHeader": {"wid": 5}}, meta)
+    assert meta["route_port"] == "w3"
+
+
+def test_merge_route_tables_preserves_entries():
+    tables = [
+        make_route_table("r1", 1, "a"),
+        make_route_table("r2", 2, "b"),
+    ]
+    merged = merge_route_tables(tables)
+    assert merged.size == 2
+    meta = {}
+    merged.lookup({"LambdaHeader": {"wid": 2}}, meta)
+    assert meta["route_port"] == "b"
+
+
+def test_if_else_lowering_smaller_than_naive():
+    table = make_route_table("route_web", wid=1, port="p1")
+    naive = [i for i in lower_table_naive(table) if i.is_real]
+    ifelse = [i for i in lower_table_if_else(table) if i.is_real]
+    assert len(ifelse) < len(naive)
+
+
+def run_lowered(control, lambdas, headers, meta):
+    """Lower a control block and execute it in the interpreter."""
+    dispatch = lower_control(control)
+    program = LambdaProgram(
+        "fw", [dispatch] + lambdas, entry="match_dispatch"
+    )
+    return Interpreter().run(program, headers=headers, meta=meta)
+
+
+def make_stub_lambda(name, marker):
+    return Function(name, [
+        ins(Op.MSTORE, ("meta", "ran"), marker),
+        ins(Op.RET),
+    ])
+
+
+def test_lowered_control_executes_dispatch():
+    control = dispatch_control({"web": 1, "kv": 2})
+    result = run_lowered(
+        control,
+        [make_stub_lambda("web", 100), make_stub_lambda("kv", 200)],
+        headers={"LambdaHeader": {"wid": 2}},
+        meta={"valid_LambdaHeader": 1},
+    )
+    assert result.meta["ran"] == 200
+    assert result.verdict == "forward"
+    assert result.meta["route_port"] == "p0"
+
+
+def test_lowered_control_invalid_header_to_host():
+    control = dispatch_control({"web": 1})
+    result = run_lowered(
+        control,
+        [make_stub_lambda("web", 1)],
+        headers={},
+        meta={"valid_LambdaHeader": 0},
+    )
+    assert result.verdict == "to_host"
+
+
+def test_lowered_control_unknown_wid_to_host():
+    control = dispatch_control({"web": 1})
+    result = run_lowered(
+        control,
+        [make_stub_lambda("web", 1)],
+        headers={"LambdaHeader": {"wid": 9}},
+        meta={"valid_LambdaHeader": 1},
+    )
+    assert result.verdict == "to_host"
+
+
+def test_lowered_table_hit_meta():
+    table = make_route_table("route_web", wid=1, port="px")
+    body = lower_table_if_else(table) + [ins(Op.RET)]
+    program = LambdaProgram("t", [Function("t", body)])
+    result = Interpreter().run(
+        program, headers={"LambdaHeader": {"wid": 1}}, meta={}
+    )
+    assert result.meta["route_port"] == "px"
+    assert result.meta["route_web_hit"] == 1
+
+
+def test_control_execute_direct_vs_lowered_agree():
+    """The AST interpreter and the lowered-ISA execution must agree."""
+    ids = {"web": 1, "kv": 2, "img": 3}
+    control = dispatch_control(ids)
+    for wid, expected in [(1, "web"), (2, "kv"), (3, "img"), (8, None)]:
+        invoked = []
+        control.execute(
+            {"LambdaHeader": {"wid": wid}}, {},
+            lambda name: invoked.append(name) or CTRL_FORWARD,
+        )
+        lambdas = [make_stub_lambda(name, index)
+                   for index, name in enumerate(ids)]
+        result = run_lowered(
+            control, lambdas,
+            headers={"LambdaHeader": {"wid": wid}},
+            meta={"valid_LambdaHeader": 1},
+        )
+        if expected is None:
+            assert invoked == []
+            assert result.verdict == "to_host"
+        else:
+            assert invoked == [expected]
+            assert result.verdict == "forward"

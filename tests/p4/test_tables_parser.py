@@ -1,0 +1,148 @@
+"""Tests for match-action tables and the auto-generated parser."""
+
+import pytest
+
+from repro.net import (
+    EthernetHeader,
+    HeaderStack,
+    IPv4Header,
+    LambdaHeader,
+    Packet,
+    UDPHeader,
+)
+from repro.p4 import (
+    Action,
+    P4Error,
+    ParserSpec,
+    ParserState,
+    Table,
+    generate_parser,
+)
+
+
+def make_table():
+    table = Table(
+        "routes",
+        keys=[("LambdaHeader", "wid")],
+        actions=[Action("set_route", writes=("route_port",))],
+        default_action=None,
+    )
+    table.add_entry((1,), "set_route", {"route_port": "p1"})
+    table.add_entry((2,), "set_route", {"route_port": "p2"})
+    return table
+
+
+def test_table_lookup_hit_writes_meta():
+    table = make_table()
+    meta = {}
+    action = table.lookup({"LambdaHeader": {"wid": 2}}, meta)
+    assert action == "set_route"
+    assert meta["route_port"] == "p2"
+
+
+def test_table_lookup_miss_returns_none():
+    table = make_table()
+    meta = {}
+    assert table.lookup({"LambdaHeader": {"wid": 99}}, meta) is None
+    assert meta == {}
+
+
+def test_table_default_action():
+    table = Table(
+        "t",
+        keys=[("LambdaHeader", "wid")],
+        actions=[Action("hit", writes=()), Action("miss", writes=())],
+        default_action="miss",
+    )
+    assert table.lookup({"LambdaHeader": {"wid": 5}}, {}) == "miss"
+
+
+def test_table_missing_header_uses_default():
+    table = make_table()
+    assert table.lookup({}, {}) is None
+
+
+def test_table_validates_key_fields():
+    with pytest.raises(P4Error):
+        Table("t", keys=[("LambdaHeader", "no_such_field")], actions=[])
+    with pytest.raises(KeyError):
+        Table("t", keys=[("GhostHeader", "x")], actions=[])
+    with pytest.raises(P4Error):
+        Table("t", keys=[], actions=[])
+
+
+def test_table_entry_arity_checked():
+    table = make_table()
+    with pytest.raises(P4Error):
+        table.add_entry((1, 2), "set_route", {})
+
+
+def test_table_unknown_action_rejected():
+    table = make_table()
+    with pytest.raises(P4Error):
+        table.add_entry((3,), "no_such_action", {})
+
+
+def test_action_missing_param_raises():
+    table = make_table()
+    table.add_entry((3,), "set_route", {})  # params missing route_port
+    with pytest.raises(P4Error):
+        table.lookup({"LambdaHeader": {"wid": 3}}, {})
+
+
+def lambda_packet(wid=7):
+    return Packet(
+        "gw", "w1",
+        HeaderStack([
+            EthernetHeader(), IPv4Header(), UDPHeader(), LambdaHeader(wid=wid),
+        ]),
+        payload_bytes=64,
+    )
+
+
+def test_parser_extracts_fields():
+    parser = generate_parser([])
+    extracted = parser.parse(lambda_packet(wid=9))
+    assert extracted["LambdaHeader"]["wid"] == 9
+    assert extracted["IPv4Header"]["ttl"] == 64
+
+
+def test_parser_valid_meta():
+    parser = generate_parser(["RpcHeader"])
+    meta = parser.valid_meta(lambda_packet())
+    assert meta["has_LambdaHeader"] == 1
+    assert meta["has_RpcHeader"] == 0
+
+
+def test_generate_parser_includes_base_chain():
+    parser = generate_parser([])
+    assert parser.headers == [
+        "EthernetHeader", "IPv4Header", "UDPHeader", "LambdaHeader",
+    ]
+
+
+def test_generate_parser_adds_used_headers_in_order():
+    parser = generate_parser(["ServerHdr", "RpcHeader"])
+    assert parser.headers.index("RpcHeader") < parser.headers.index("ServerHdr")
+
+
+def test_generate_parser_unknown_header_rejected():
+    with pytest.raises(KeyError):
+        generate_parser(["MysteryHeader"])
+
+
+def test_parser_state_validates_header():
+    with pytest.raises(KeyError):
+        ParserState("NopeHeader")
+
+
+def test_parser_function_instruction_count():
+    parser = generate_parser([])
+    function = parser.generate_function()
+    assert function.instruction_count == parser.instruction_count
+
+
+def test_parser_skips_absent_headers():
+    parser = generate_parser(["RpcHeader"])
+    extracted = parser.parse(lambda_packet())
+    assert "RpcHeader" not in extracted

@@ -1,0 +1,133 @@
+"""Tests for the textual P4 control-block parser."""
+
+import pytest
+
+from repro.microc.errors import ParseError
+from repro.p4 import (
+    ApplyTable,
+    CTRL_FORWARD,
+    CTRL_TO_HOST,
+    IfFieldEq,
+    IfValid,
+    InvokeLambda,
+    SendToHost,
+    make_route_table,
+    parse_control,
+)
+
+#: The paper's Listing 3, verbatim (modulo whitespace).
+LISTING_3 = """
+control ingress {
+    if (valid(lambda_hdr)) {
+        if (lambda_hdr.wId == WEB_SERVER_ID) {
+            apply(web_server);
+            apply(return_web_server_results);
+        } else if (lambda_hdr.wId == OTHER_LAMBDA_ID) {
+            apply(other_lambda);
+            apply(return_other_lambda_results);
+        }
+    } else { apply(send_pkt_to_host); }
+}
+"""
+
+CONSTANTS = {"WEB_SERVER_ID": 1, "OTHER_LAMBDA_ID": 2}
+
+
+def test_listing3_parses_verbatim():
+    control = parse_control(LISTING_3, constants=CONSTANTS)
+    assert control.name == "ingress"
+    outer = control.statements[0]
+    assert isinstance(outer, IfValid)
+    assert outer.header == "LambdaHeader"
+    inner = outer.then[0]
+    assert isinstance(inner, IfFieldEq)
+    assert inner.field_name == "wid"
+    assert inner.value == 1
+    assert isinstance(inner.then[0], InvokeLambda)
+    assert inner.then[0].name == "web_server"
+    assert isinstance(outer.orelse[0], SendToHost)
+
+
+def test_listing3_executes_like_the_paper_describes():
+    control = parse_control(LISTING_3, constants=CONSTANTS)
+    invoked = []
+
+    def invoke(name):
+        invoked.append(name)
+        return CTRL_FORWARD
+
+    verdict = control.execute({"LambdaHeader": {"wid": 2}}, {}, invoke)
+    assert verdict == CTRL_FORWARD
+    assert invoked == ["other_lambda"]
+    verdict = control.execute({"UDPHeader": {}}, {}, invoke)
+    assert verdict == CTRL_TO_HOST
+
+
+def test_parsed_control_lowers_to_npu_code():
+    from repro.isa import Function, Interpreter, LambdaProgram, Op, ins
+    from repro.p4 import lower_control
+
+    control = parse_control(LISTING_3, constants=CONSTANTS)
+    stub = Function("web_server", [ins(Op.MSTORE, ("meta", "ran"), 1),
+                                   ins(Op.RET)])
+    other = Function("other_lambda", [ins(Op.RET)])
+    program = LambdaProgram(
+        "fw", [lower_control(control), stub, other], entry="match_dispatch",
+    )
+    result = Interpreter().run(
+        program,
+        headers={"LambdaHeader": {"wid": 1}},
+        meta={"valid_LambdaHeader": 1},
+    )
+    assert result.meta["ran"] == 1
+    assert result.verdict == "forward"
+
+
+def test_apply_named_table():
+    table = make_route_table("routes", wid=1, port="p0")
+    control = parse_control(
+        "control ingress { apply(routes); apply(send_pkt_to_host); }",
+        tables={"routes": table},
+    )
+    assert isinstance(control.statements[0], ApplyTable)
+    meta = {}
+    control.execute({"LambdaHeader": {"wid": 1}}, meta, lambda n: CTRL_FORWARD)
+    assert meta["route_port"] == "p0"
+
+
+def test_numeric_literals_allowed():
+    control = parse_control("""
+        control ingress {
+            if (lambda_hdr.wId == 7) { apply(seven); }
+        }
+    """)
+    assert control.statements[0].value == 7
+
+
+def test_unbound_constant_rejected():
+    with pytest.raises(ParseError, match="unbound constant"):
+        parse_control(LISTING_3, constants={"WEB_SERVER_ID": 1})
+
+
+def test_unknown_header_rejected():
+    with pytest.raises(ParseError, match="unknown header"):
+        parse_control("control c { if (valid(ghost_hdr)) { } }")
+
+
+def test_malformed_blocks_rejected():
+    with pytest.raises(ParseError):
+        parse_control("control c {")
+    with pytest.raises(ParseError):
+        parse_control("control c { frobnicate; }")
+    with pytest.raises(ParseError):
+        parse_control("control c { apply(x); } trailing")
+    with pytest.raises(ParseError):
+        parse_control("control c { if (lambda_hdr.wId != 1) { } }")
+
+
+def test_custom_aliases():
+    control = parse_control(
+        "control c { if (valid(req)) { apply(x); } }",
+        header_aliases={"req": "RpcHeader"},
+    )
+    assert control.statements[0].header == "RpcHeader"

@@ -1,0 +1,128 @@
+"""Property-based tests for the lambda ISA."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    AccessMode,
+    Interpreter,
+    Op,
+    ProgramBuilder,
+    assemble,
+    disassemble,
+)
+from repro.isa.analysis import function_signature
+
+small_int = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(a=small_int, b=small_int)
+def test_alu_ops_match_python_semantics(a, b):
+    cases = {
+        Op.ADD: a + b,
+        Op.SUB: a - b,
+        Op.MUL: a * b,
+        Op.AND: a & b,
+        Op.OR: a | b,
+        Op.XOR: a ^ b,
+        Op.MIN: min(a, b),
+        Op.MAX: max(a, b),
+    }
+    for op, expected in cases.items():
+        builder = ProgramBuilder("p")
+        fn = builder.function("p")
+        fn.mov("r1", a).mov("r2", b).emit(op, "r0", "r1", "r2").ret("r0")
+        builder.close(fn)
+        result = Interpreter().run(builder.build())
+        assert result.return_value == expected, op
+
+
+@given(value=small_int, offset=st.integers(min_value=0, max_value=56))
+def test_memory_roundtrip_any_aligned_offset(value, offset):
+    builder = ProgramBuilder("p")
+    builder.object("buf", 64)
+    fn = builder.function("p")
+    fn.mov("r1", value)
+    fn.store("buf", offset, "r1")
+    fn.load("r2", "buf", offset)
+    fn.ret("r2")
+    builder.close(fn)
+    result = Interpreter().run(builder.build())
+    assert result.return_value == value
+
+
+@given(data=st.binary(min_size=1, max_size=64))
+def test_memcpy_preserves_bytes(data):
+    builder = ProgramBuilder("p")
+    builder.object("src", len(data))
+    builder.object("dst", len(data))
+    fn = builder.function("p")
+    fn.memcpy("dst", 0, "src", 0, len(data))
+    fn.ret()
+    builder.close(fn)
+    program = builder.build()
+    memory = {"src": bytearray(data), "dst": bytearray(len(data))}
+    Interpreter().run(program, memory=memory)
+    assert bytes(memory["dst"]) == data
+
+
+@st.composite
+def random_program(draw):
+    """A small random (but valid) lambda program."""
+    builder = ProgramBuilder("rand")
+    n_objects = draw(st.integers(min_value=0, max_value=2))
+    for index in range(n_objects):
+        builder.object(
+            f"obj{index}",
+            draw(st.integers(min_value=8, max_value=256)),
+            draw(st.sampled_from(list(AccessMode))),
+            hot=draw(st.booleans()),
+        )
+    fn = builder.function("rand")
+    n_instructions = draw(st.integers(min_value=1, max_value=25))
+    for step in range(n_instructions):
+        choice = draw(st.integers(min_value=0, max_value=4))
+        reg = f"r{draw(st.integers(min_value=1, max_value=7))}"
+        if choice == 0:
+            fn.mov(reg, draw(small_int))
+        elif choice == 1:
+            fn.add(reg, reg, draw(small_int))
+        elif choice == 2 and n_objects:
+            fn.load(reg, "obj0", draw(st.integers(min_value=0, max_value=7)))
+        elif choice == 3 and n_objects:
+            fn.store("obj0", draw(st.integers(min_value=0, max_value=7)), reg)
+        else:
+            fn.nop()
+    fn.ret("r1")
+    builder.close(fn)
+    return builder.build()
+
+
+@given(program=random_program())
+@settings(max_examples=50)
+def test_assembler_roundtrip_random_programs(program):
+    """disassemble -> assemble preserves structure for any program."""
+    text = disassemble(program)
+    parsed = assemble(text)
+    assert parsed.name == program.name
+    assert parsed.instruction_count == program.instruction_count
+    assert set(parsed.objects) == set(program.objects)
+    for name, function in program.functions.items():
+        assert function_signature(parsed.function(name)) == \
+            function_signature(function)
+    for name, obj in program.objects.items():
+        parsed_obj = parsed.object(name)
+        assert parsed_obj.size_bytes == obj.size_bytes
+        assert parsed_obj.access is obj.access
+        assert parsed_obj.hot == obj.hot
+
+
+@given(program=random_program())
+@settings(max_examples=50)
+def test_random_programs_execute_deterministically(program):
+    """Same program, same inputs -> identical results and cycles."""
+    first = Interpreter().run(program)
+    second = Interpreter().run(program)
+    assert first.return_value == second.return_value
+    assert first.cycles == second.cycles
+    assert first.instructions_executed == second.instructions_executed

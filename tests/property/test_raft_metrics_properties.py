@@ -1,0 +1,117 @@
+"""Property-based tests for the Raft log, KV semantics, and metrics."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raft import LogEntry, RaftLog
+from repro.raft.kv import EtcdStore
+from repro.serverless import MetricsRegistry
+
+
+@given(terms=st.lists(st.integers(min_value=1, max_value=10),
+                      min_size=0, max_size=50))
+def test_log_terms_index_consistency(terms):
+    """Appending in term order keeps last_index/last_term consistent."""
+    log = RaftLog()
+    for term in sorted(terms):
+        log.append(LogEntry(term=term, command=("SET", "k", "v")))
+    assert log.last_index == len(terms)
+    if terms:
+        assert log.last_term == max(terms)
+        for index in range(1, len(terms) + 1):
+            assert log.term_at(index) == sorted(terms)[index - 1]
+
+
+@given(
+    terms=st.lists(st.integers(min_value=1, max_value=5),
+                   min_size=1, max_size=30),
+    cut=st.integers(min_value=1, max_value=30),
+)
+def test_log_truncate_is_prefix(terms, cut):
+    log = RaftLog()
+    for term in terms:
+        log.append(LogEntry(term=term, command=("SET", "k", "v")))
+    before = [entry.term for entry in log.all_entries()]
+    log.truncate_from(cut)
+    after = [entry.term for entry in log.all_entries()]
+    assert after == before[:max(0, cut - 1)]
+
+
+@given(
+    other_index=st.integers(min_value=0, max_value=40),
+    other_term=st.integers(min_value=0, max_value=10),
+    terms=st.lists(st.integers(min_value=1, max_value=10),
+                   min_size=0, max_size=30),
+)
+def test_up_to_date_is_total_order(other_index, other_term, terms):
+    """For any two logs, at least one is up-to-date w.r.t. the other."""
+    log = RaftLog()
+    for term in sorted(terms):
+        log.append(LogEntry(term=term, command=()))
+    forward = log.is_up_to_date(other_index, other_term)
+    # Simulate the reverse comparison.
+    reverse = (log.last_term, log.last_index) >= (other_term, other_index) \
+        if (other_term, other_index) != (log.last_term, log.last_index) \
+        else True
+    assert forward or reverse
+
+
+@given(commands=st.lists(
+    st.one_of(
+        st.tuples(st.just("SET"), st.sampled_from("abc"), st.integers()),
+        st.tuples(st.just("GET"), st.sampled_from("abc")),
+        st.tuples(st.just("DEL"), st.sampled_from("abc")),
+    ),
+    max_size=60,
+))
+def test_etcd_store_matches_model_dict(commands):
+    """The replicated state machine agrees with a plain dict model."""
+    store = EtcdStore()
+    model = {}
+    for command in commands:
+        result = store.apply(command)
+        op = command[0]
+        if op == "SET":
+            model[command[1]] = command[2]
+            assert result == "OK"
+        elif op == "GET":
+            assert result == model.get(command[1])
+        elif op == "DEL":
+            assert result == (command[1] in model)
+            model.pop(command[1], None)
+    assert store.data == model
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=200),
+       q=st.floats(min_value=1, max_value=100))
+@settings(max_examples=60)
+def test_histogram_percentile_matches_numpy_nearest_rank(values, q):
+    histogram = MetricsRegistry().histogram("h")
+    for value in values:
+        histogram.observe(value)
+    measured = histogram.percentile(q)
+    data = sorted(values)
+    rank = max(0, min(len(data) - 1, math.ceil(q / 100 * len(data)) - 1))
+    assert measured == data[rank]
+    # Bracketing sanity vs numpy's linear interpolation.
+    lo, hi = np.percentile(values, [0, 100])
+    assert lo <= measured <= hi
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e3,
+                                 allow_nan=False), min_size=1, max_size=100))
+def test_histogram_ecdf_monotone_and_complete(values):
+    histogram = MetricsRegistry().histogram("h")
+    for value in values:
+        histogram.observe(value)
+    ecdf = histogram.ecdf()
+    fractions = [fraction for _, fraction in ecdf]
+    xs = [value for value, _ in ecdf]
+    assert xs == sorted(xs)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+    assert len(ecdf) == len(values)

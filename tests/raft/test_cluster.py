@@ -1,0 +1,214 @@
+"""Integration tests for Raft clusters and the etcd client."""
+
+import pytest
+
+from repro.net import Network
+from repro.raft import EtcdClient, EtcdCluster, LEADER
+from repro.sim import Environment, RngRegistry
+
+
+def make_cluster(n_nodes=3, seed=11, drop_probability=0.0):
+    env = Environment()
+    rng = RngRegistry(seed=seed)
+    network = Network(
+        env,
+        drop_probability=drop_probability,
+        rng=rng.stream("net") if drop_probability else None,
+    )
+    cluster = EtcdCluster(env, network, n_nodes=n_nodes, rng=rng)
+    client_node = network.add_node("client")
+    client = EtcdClient(env, client_node, cluster.names)
+    return env, network, cluster, client
+
+
+def test_single_leader_elected():
+    env, network, cluster, client = make_cluster()
+    env.run(until=2.0)
+    leaders = [node for node in cluster.nodes.values() if node.is_leader]
+    assert len(leaders) == 1
+
+
+def test_election_safety_over_time():
+    """At any observed instant there is at most one leader per term."""
+    env, network, cluster, client = make_cluster(n_nodes=5)
+    seen = {}
+
+    def observer(env):
+        while env.now < 5.0:
+            yield env.timeout(0.025)
+            for node in cluster.nodes.values():
+                if node.is_leader:
+                    seen.setdefault(node.current_term, set()).add(node.name)
+
+    env.process(observer(env))
+    env.run(until=5.0)
+    assert seen, "no leader was ever observed"
+    for term, leaders in seen.items():
+        assert len(leaders) == 1, f"term {term} had leaders {leaders}"
+
+
+def test_set_then_get():
+    env, network, cluster, client = make_cluster()
+
+    def scenario(env):
+        yield cluster.wait_for_leader()
+        result = yield client.set("color", "green")
+        assert result == "OK"
+        value = yield client.get("color")
+        assert value == "green"
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+
+
+def test_committed_entries_replicated_to_all():
+    env, network, cluster, client = make_cluster()
+
+    def scenario(env):
+        yield cluster.wait_for_leader()
+        for index in range(5):
+            yield client.set(f"k{index}", index)
+        yield env.timeout(0.5)  # let followers catch up
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+    for store in cluster.stores.values():
+        assert store.data == {f"k{index}": index for index in range(5)}
+
+
+def test_cas_semantics():
+    env, network, cluster, client = make_cluster()
+    outcomes = []
+
+    def scenario(env):
+        yield cluster.wait_for_leader()
+        yield client.set("lock", "free")
+        outcomes.append((yield client.cas("lock", "free", "held")))
+        outcomes.append((yield client.cas("lock", "free", "held")))
+        outcomes.append((yield client.get("lock")))
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+    assert outcomes == [True, False, "held"]
+
+
+def test_delete():
+    env, network, cluster, client = make_cluster()
+    outcomes = []
+
+    def scenario(env):
+        yield cluster.wait_for_leader()
+        yield client.set("tmp", 1)
+        outcomes.append((yield client.delete("tmp")))
+        outcomes.append((yield client.delete("tmp")))
+        outcomes.append((yield client.get("tmp")))
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+    assert outcomes == [True, False, None]
+
+
+def test_leader_crash_triggers_reelection_and_continuity():
+    env, network, cluster, client = make_cluster(n_nodes=5)
+    trace = {}
+
+    def scenario(env):
+        leader = yield cluster.wait_for_leader()
+        yield client.set("before", 1)
+        trace["old_leader"] = leader.name
+        leader.crash()
+        yield env.timeout(2.0)  # allow re-election
+        new_leader = cluster.leader()
+        assert new_leader is not None
+        trace["new_leader"] = new_leader.name
+        yield client.set("after", 2)
+        value_before = yield client.get("before")
+        value_after = yield client.get("after")
+        assert value_before == 1
+        assert value_after == 2
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+    assert trace["new_leader"] != trace["old_leader"]
+
+
+def test_crashed_follower_catches_up_on_recovery():
+    env, network, cluster, client = make_cluster(n_nodes=3)
+
+    def scenario(env):
+        leader = yield cluster.wait_for_leader()
+        followers = [name for name in cluster.names if name != leader.name]
+        victim = followers[0]
+        cluster.crash(victim)
+        for index in range(4):
+            yield client.set(f"k{index}", index)
+        cluster.recover(victim)
+        yield env.timeout(1.5)
+        assert cluster.stores[victim].data == \
+            {f"k{index}": index for index in range(4)}
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+
+
+def test_minority_crash_still_commits():
+    env, network, cluster, client = make_cluster(n_nodes=5)
+
+    def scenario(env):
+        leader = yield cluster.wait_for_leader()
+        followers = [name for name in cluster.names if name != leader.name]
+        cluster.crash(followers[0])
+        cluster.crash(followers[1])
+        result = yield client.set("quorum", "held")
+        assert result == "OK"
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+
+
+def test_cluster_survives_lossy_network():
+    env, network, cluster, client = make_cluster(seed=5, drop_probability=0.05)
+
+    def scenario(env):
+        yield cluster.wait_for_leader()
+        for index in range(5):
+            yield client.set(f"k{index}", index)
+        value = yield client.get("k4")
+        assert value == 4
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+
+
+def test_duplicate_client_command_not_reapplied():
+    """Retried commands must be idempotent at the state machine."""
+    env, network, cluster, client = make_cluster()
+
+    def scenario(env):
+        leader = yield cluster.wait_for_leader()
+        yield client.set("x", 1)
+        applied_before = cluster.stores[leader.name].applied_commands
+        # Re-send the exact same (client, seq) command directly.
+        from repro.raft import ClientCommand
+        from repro.net import HeaderStack, Packet, RpcHeader, UDPHeader
+
+        duplicate = ClientCommand(command=("SET", "x", 1),
+                                  client=client.name, seq=1)
+        client.node.send(Packet(
+            src=client.name, dst=leader.name,
+            headers=HeaderStack([UDPHeader(), RpcHeader()]),
+            payload=duplicate, payload_bytes=80,
+        ))
+        yield env.timeout(0.5)
+        applied_after = cluster.stores[leader.name].applied_commands
+        assert applied_after == applied_before
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+
+
+def test_cluster_requires_nodes():
+    env = Environment()
+    network = Network(env)
+    with pytest.raises(ValueError):
+        EtcdCluster(env, network, n_nodes=0)

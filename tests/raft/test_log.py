@@ -1,0 +1,74 @@
+"""Tests for the Raft log."""
+
+import pytest
+
+from repro.raft import LogEntry, RaftLog
+
+
+def entry(term, command=("SET", "k", "v")):
+    return LogEntry(term=term, command=command)
+
+
+def test_empty_log():
+    log = RaftLog()
+    assert log.last_index == 0
+    assert log.last_term == 0
+    assert log.term_at(0) == 0
+
+
+def test_append_and_access():
+    log = RaftLog()
+    assert log.append(entry(1)) == 1
+    assert log.append(entry(2)) == 2
+    assert log.last_index == 2
+    assert log.last_term == 2
+    assert log.entry(1).term == 1
+    assert log.term_at(2) == 2
+
+
+def test_entry_bounds():
+    log = RaftLog()
+    log.append(entry(1))
+    with pytest.raises(IndexError):
+        log.entry(0)
+    with pytest.raises(IndexError):
+        log.entry(2)
+
+
+def test_entries_from():
+    log = RaftLog()
+    for term in [1, 1, 2, 3]:
+        log.append(entry(term))
+    assert [e.term for e in log.entries_from(3)] == [2, 3]
+    assert log.entries_from(5) == []
+    assert [e.term for e in log.entries_from(1)] == [1, 1, 2, 3]
+
+
+def test_truncate_from():
+    log = RaftLog()
+    for term in [1, 2, 3]:
+        log.append(entry(term))
+    log.truncate_from(2)
+    assert log.last_index == 1
+    assert log.last_term == 1
+
+
+def test_matches_consistency_check():
+    log = RaftLog()
+    log.append(entry(1))
+    log.append(entry(2))
+    assert log.matches(0, 0)
+    assert log.matches(2, 2)
+    assert not log.matches(2, 1)
+    assert not log.matches(3, 2)
+
+
+def test_is_up_to_date():
+    log = RaftLog()
+    log.append(entry(1))
+    log.append(entry(3))
+    assert log.is_up_to_date(2, 3)      # identical
+    assert log.is_up_to_date(5, 3)      # longer same term
+    assert log.is_up_to_date(1, 4)      # higher term wins
+    assert not log.is_up_to_date(1, 3)  # shorter same term
+    assert not log.is_up_to_date(9, 2)  # lower term loses

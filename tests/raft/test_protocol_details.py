@@ -1,0 +1,137 @@
+"""Protocol-level Raft tests: conflicts, stale terms, edge cases."""
+
+import pytest
+
+from repro.net import Network
+from repro.raft import (
+    AppendEntries,
+    EtcdClient,
+    EtcdCluster,
+    LEADER,
+    LogEntry,
+    RaftNode,
+    RequestVote,
+)
+from repro.sim import Environment, RngRegistry
+
+
+def make_node(env=None, peers=("n2", "n3")):
+    env = env or Environment()
+    network = Network(env)
+    applied = []
+    node = RaftNode(
+        env, network.add_node("n1"), peers=["n1", *peers],
+        apply_fn=lambda command: applied.append(command) or "OK",
+        rng=RngRegistry(seed=4).stream("raft"),
+    )
+    # Sink peers so outgoing RPCs have somewhere to go.
+    for peer in peers:
+        network.add_node(peer).attach(lambda p: None)
+    return env, node, applied
+
+
+def test_follower_truncates_conflicting_entries():
+    env, node, applied = make_node()
+    node.current_term = 2
+    # Follower has entries from a deposed leader.
+    node.log.append(LogEntry(term=1, command=("SET", "a", 1)))
+    node.log.append(LogEntry(term=2, command=("SET", "b", 2)))
+    node.log.append(LogEntry(term=2, command=("SET", "stale", 9)))
+    # New leader (term 3) sends entries conflicting at index 2.
+    node._on_append_entries(AppendEntries(
+        term=3, leader="n2", prev_log_index=1, prev_log_term=1,
+        entries=[LogEntry(term=3, command=("SET", "b", 99))],
+        leader_commit=2,
+    ))
+    assert node.current_term == 3
+    assert node.log.last_index == 2
+    assert node.log.entry(2).command == ("SET", "b", 99)
+    # Commit index followed leader_commit and applied both entries.
+    assert node.commit_index == 2
+    assert applied == [("SET", "a", 1), ("SET", "b", 99)]
+
+
+def test_append_entries_rejects_stale_leader():
+    env, node, applied = make_node()
+    node.current_term = 5
+    node._on_append_entries(AppendEntries(
+        term=3, leader="n2", prev_log_index=0, prev_log_term=0,
+        entries=[LogEntry(term=3, command=("SET", "x", 1))],
+    ))
+    assert node.log.last_index == 0
+    assert node.current_term == 5
+
+
+def test_append_entries_rejects_gap():
+    env, node, applied = make_node()
+    node.current_term = 1
+    node._on_append_entries(AppendEntries(
+        term=1, leader="n2", prev_log_index=5, prev_log_term=1,
+        entries=[LogEntry(term=1, command=("SET", "x", 1))],
+    ))
+    assert node.log.last_index == 0  # consistency check failed
+
+
+def test_vote_denied_to_stale_log():
+    env, node, applied = make_node()
+    node.current_term = 2
+    node.log.append(LogEntry(term=2, command=()))
+    sent = []
+    node._send = lambda dst, message: sent.append((dst, message))
+    node._on_request_vote(RequestVote(
+        term=3, candidate="n2", last_log_index=5, last_log_term=1,
+    ))
+    assert sent[-1][1].granted is False  # lower last term loses
+    node._on_request_vote(RequestVote(
+        term=3, candidate="n3", last_log_index=1, last_log_term=2,
+    ))
+    assert sent[-1][1].granted is True
+
+
+def test_vote_not_granted_twice_in_same_term():
+    env, node, applied = make_node()
+    sent = []
+    node._send = lambda dst, message: sent.append((dst, message))
+    node._on_request_vote(RequestVote(term=1, candidate="n2",
+                                      last_log_index=0, last_log_term=0))
+    node._on_request_vote(RequestVote(term=1, candidate="n3",
+                                      last_log_index=0, last_log_term=0))
+    assert sent[0][1].granted is True
+    assert sent[1][1].granted is False
+
+
+def test_single_node_cluster_self_elects_and_commits():
+    env = Environment()
+    network = Network(env)
+    cluster = EtcdCluster(env, network, n_nodes=1,
+                          rng=RngRegistry(seed=6))
+    client = EtcdClient(env, network.add_node("client"), cluster.names)
+
+    def scenario(env):
+        yield cluster.wait_for_leader()
+        result = yield client.set("solo", 1)
+        assert result == "OK"
+        value = yield client.get("solo")
+        assert value == 1
+
+    process = env.process(scenario(env))
+    env.run(until=process)
+    assert cluster.nodes[cluster.names[0]].state == LEADER
+
+
+def test_client_times_out_when_cluster_dead():
+    env = Environment()
+    network = Network(env)
+    cluster = EtcdCluster(env, network, n_nodes=3,
+                          rng=RngRegistry(seed=7))
+    client = EtcdClient(env, network.add_node("client"), cluster.names,
+                        timeout=0.1, max_attempts=3)
+    for name in cluster.names:
+        cluster.crash(name)
+
+    def scenario(env):
+        with pytest.raises(TimeoutError):
+            yield client.set("k", 1)
+
+    process = env.process(scenario(env))
+    env.run(until=process)

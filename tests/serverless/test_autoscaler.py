@@ -1,0 +1,82 @@
+"""Tests for the rate-based autoscaler."""
+
+import pytest
+
+from repro.serverless import AutoScaler, Gateway, MetricsRegistry
+from repro.net import Network
+from repro.sim import Environment
+
+
+def make_gateway():
+    env = Environment()
+    network = Network(env)
+    gateway = Gateway(env, network.add_node("gw"), metrics=MetricsRegistry())
+    gateway.set_route("web", wid=1, targets=["w1"])
+    return env, gateway
+
+
+def test_desired_replicas_clamped():
+    env, gateway = make_gateway()
+    scaler = AutoScaler(env, gateway, worker_pool=["w1", "w2", "w3"],
+                        target_rps_per_replica=100)
+    assert scaler.desired_replicas(0) == 1
+    assert scaler.desired_replicas(150) == 2
+    assert scaler.desired_replicas(10_000) == 3
+
+
+def test_scale_up_on_load():
+    env, gateway = make_gateway()
+    scaler = AutoScaler(env, gateway, worker_pool=["w1", "w2", "w3", "w4"],
+                        check_interval=1.0, target_rps_per_replica=100)
+    # Simulate 250 completed requests in the interval.
+    gateway.requests_total.inc(250, labels={"workload": "web"})
+    decisions = scaler.evaluate()
+    assert len(decisions) == 1
+    assert decisions[0].replicas == 3
+    assert scaler.replicas_for("web") == 3
+
+
+def test_scale_down_when_idle():
+    env, gateway = make_gateway()
+    scaler = AutoScaler(env, gateway, worker_pool=["w1", "w2", "w3"],
+                        check_interval=1.0, target_rps_per_replica=100)
+    gateway.requests_total.inc(300, labels={"workload": "web"})
+    scaler.evaluate()
+    assert scaler.replicas_for("web") == 3
+    # Next interval: no new requests.
+    scaler.evaluate()
+    assert scaler.replicas_for("web") == 1
+
+
+def test_no_decision_when_stable():
+    env, gateway = make_gateway()
+    scaler = AutoScaler(env, gateway, worker_pool=["w1", "w2"],
+                        target_rps_per_replica=100)
+    gateway.requests_total.inc(50, labels={"workload": "web"})
+    assert scaler.evaluate() == []  # 1 replica desired; already 1
+
+
+def test_control_loop_runs_periodically():
+    env, gateway = make_gateway()
+    scaler = AutoScaler(env, gateway, worker_pool=["w1", "w2"],
+                        check_interval=0.5, target_rps_per_replica=10)
+
+    def load(env):
+        for _ in range(4):
+            gateway.requests_total.inc(20, labels={"workload": "web"})
+            yield env.timeout(0.5)
+        scaler.stop()
+
+    scaler.start()
+    env.process(load(env))
+    env.run(until=3.0)
+    # The loop must have scaled up to 2 replicas at some point.
+    assert any(decision.replicas == 2 for decision in scaler.decisions)
+
+
+def test_validation():
+    env, gateway = make_gateway()
+    with pytest.raises(ValueError):
+        AutoScaler(env, gateway, worker_pool=[])
+    with pytest.raises(ValueError):
+        AutoScaler(env, gateway, worker_pool=["w1"], target_rps_per_replica=0)

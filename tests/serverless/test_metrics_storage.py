@@ -1,0 +1,121 @@
+"""Tests for the metrics registry and object storage."""
+
+import math
+
+import pytest
+
+from repro.serverless import MetricsRegistry, ObjectStorage, StorageError
+from repro.sim import Environment
+
+
+def test_counter_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests", "total requests")
+    counter.inc()
+    counter.inc(2, labels={"workload": "web"})
+    assert counter.value() == 1
+    assert counter.value(labels={"workload": "web"}) == 2
+    assert counter.total == 3
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_add():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("replicas")
+    gauge.set(3)
+    gauge.add(-1)
+    assert gauge.value() == 2
+
+
+def test_histogram_percentiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    assert histogram.count() == 100
+    assert histogram.mean() == pytest.approx(50.5)
+    assert histogram.percentile(50) == 50
+    assert histogram.percentile(99) == 99
+    assert histogram.percentile(100) == 100
+    with pytest.raises(ValueError):
+        histogram.percentile(101)
+
+
+def test_histogram_ecdf_and_fraction():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        histogram.observe(value)
+    ecdf = histogram.ecdf()
+    assert ecdf[0] == (1.0, 0.25)
+    assert ecdf[-1] == (4.0, 1.0)
+    assert histogram.fraction_below(2.5) == 0.5
+
+
+def test_histogram_empty_is_nan():
+    histogram = MetricsRegistry().histogram("empty")
+    assert math.isnan(histogram.mean())
+    assert math.isnan(histogram.percentile(50))
+
+
+def test_registry_same_name_same_metric():
+    registry = MetricsRegistry()
+    a = registry.counter("x")
+    b = registry.counter("x")
+    assert a is b
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_histogram_labels_separate():
+    histogram = MetricsRegistry().histogram("latency")
+    histogram.observe(1.0, labels={"workload": "a"})
+    histogram.observe(9.0, labels={"workload": "b"})
+    assert histogram.observations(labels={"workload": "a"}) == [1.0]
+
+
+def test_storage_put_download_roundtrip():
+    env = Environment()
+    storage = ObjectStorage(env, bandwidth_bytes_per_second=100e6)
+    results = []
+
+    def scenario():
+        record = yield storage.put("binary", 50_000_000)
+        results.append(("put", env.now, record.version))
+        record = yield storage.download("binary")
+        results.append(("get", env.now, record.size_bytes))
+
+    process = env.process(scenario())
+    env.run(until=process)
+    assert results[0][1] == pytest.approx(0.502)  # 0.5 s transfer + 2 ms
+    assert results[1][2] == 50_000_000
+    assert storage.uploads == 1 and storage.downloads == 1
+
+
+def test_storage_versions_increment():
+    env = Environment()
+    storage = ObjectStorage(env)
+
+    def scenario():
+        first = yield storage.put("obj", 10)
+        second = yield storage.put("obj", 20)
+        return first.version, second.version
+
+    process = env.process(scenario())
+    env.run(until=process)
+    assert process.value == (1, 2)
+
+
+def test_storage_missing_object_raises():
+    env = Environment()
+    storage = ObjectStorage(env)
+
+    def scenario():
+        with pytest.raises(StorageError):
+            yield storage.download("ghost")
+
+    process = env.process(scenario())
+    env.run(until=process)
+    assert "ghost" not in storage
+    assert storage.stat("ghost") is None

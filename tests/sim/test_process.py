@@ -1,0 +1,222 @@
+"""Tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_process_is_event_with_return_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return 7
+
+    def parent(env, results):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    results = []
+    env.process(parent(env, results))
+    env.run()
+    assert results == [7]
+
+
+def test_process_alive_until_done():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    process = env.process(proc(env))
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            causes.append((env.now, interrupt.cause))
+
+    def attacker(env, victim_proc):
+        yield env.timeout(3.0)
+        victim_proc.interrupt("stop it")
+
+    victim_proc = env.process(victim(env))
+    env.process(attacker(env, victim_proc))
+    env.run()
+    assert causes == [(3.0, "stop it")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            trace.append("interrupted")
+        yield env.timeout(1.0)
+        trace.append(env.now)
+
+    def attacker(env, victim_proc):
+        yield env.timeout(2.0)
+        victim_proc.interrupt()
+
+    victim_proc = env.process(victim(env))
+    env.process(attacker(env, victim_proc))
+    env.run()
+    assert trace == ["interrupted", 3.0]
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    errors = []
+
+    def selfish(env):
+        try:
+            env.active_process.interrupt()
+        except SimulationError:
+            errors.append(True)
+        yield env.timeout(0)
+
+    env.process(selfish(env))
+    env.run()
+    assert errors == [True]
+
+
+def test_uncaught_exception_in_process_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise KeyError("oops")
+
+    env.process(bad(env))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_exception_handled_by_waiting_parent():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert caught == [1.0]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    values = []
+
+    def late_waiter(env, event):
+        yield env.timeout(5.0)
+        value = yield event
+        values.append((env.now, value))
+
+    event = env.event()
+    event.succeed("early")
+    env.process(late_waiter(env, event))
+    env.run()
+    assert values == [(5.0, "early")]
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    trace = []
+
+    def ping(env):
+        for _ in range(3):
+            yield env.timeout(2.0)
+            trace.append(("ping", env.now))
+
+    def pong(env):
+        yield env.timeout(1.0)
+        for _ in range(3):
+            yield env.timeout(2.0)
+            trace.append(("pong", env.now))
+
+    env.process(ping(env))
+    env.process(pong(env))
+    env.run()
+    assert trace == [
+        ("ping", 2.0),
+        ("pong", 3.0),
+        ("ping", 4.0),
+        ("pong", 5.0),
+        ("ping", 6.0),
+        ("pong", 7.0),
+    ]
+
+
+def test_interrupt_while_waiting_on_process():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(50.0)
+        log.append("child-finished")
+
+    def parent(env):
+        child_proc = env.process(child(env))
+        try:
+            yield child_proc
+        except Interrupt:
+            log.append(("parent-interrupted", env.now))
+
+    def attacker(env, parent_proc):
+        yield env.timeout(4.0)
+        parent_proc.interrupt()
+
+    parent_proc = env.process(parent(env))
+    env.process(attacker(env, parent_proc))
+    env.run()
+    assert ("parent-interrupted", 4.0) in log
+    assert "child-finished" in log  # The child itself was not interrupted.

@@ -1,0 +1,211 @@
+"""Tests for Resource, PreemptiveResource, and Container."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    Resource,
+)
+
+
+def test_resource_capacity_enforced():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    grants = []
+
+    def user(env, resource, name, hold):
+        with resource.request() as req:
+            yield req
+            grants.append((name, env.now))
+            yield env.timeout(hold)
+
+    for index in range(4):
+        env.process(user(env, resource, f"u{index}", 10.0))
+    env.run()
+    assert grants == [("u0", 0.0), ("u1", 0.0), ("u2", 10.0), ("u3", 10.0)]
+
+
+def test_resource_released_on_exception():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    grants = []
+
+    def crasher(env, resource):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(1.0)
+            raise RuntimeError("crash")
+
+    def waiter(env, resource):
+        with resource.request() as req:
+            yield req
+            grants.append(env.now)
+
+    def supervisor(env, crasher_proc):
+        try:
+            yield crasher_proc
+        except RuntimeError:
+            pass
+
+    crasher_proc = env.process(crasher(env, resource))
+    env.process(supervisor(env, crasher_proc))
+    env.process(waiter(env, resource))
+    env.run()
+    assert grants == [1.0]
+
+
+def test_resource_count_and_queue():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder(env, resource):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def observer(env, resource, out):
+        yield env.timeout(1.0)
+        request = resource.request()
+        out.append((resource.count, len(resource.queue)))
+        yield request
+        resource.release(request)
+
+    out = []
+    env.process(holder(env, resource))
+    env.process(observer(env, resource, out))
+    env.run()
+    assert out == [(1, 1)]
+
+
+def test_invalid_capacity_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_priority_request_order():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    grants = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(2.0)
+
+    def user(env, name, priority, delay):
+        yield env.timeout(delay)
+        with resource.request(priority=priority) as req:
+            yield req
+            grants.append(name)
+            yield env.timeout(1.0)
+
+    env.process(holder(env))
+    env.process(user(env, "low", 5, 0.5))
+    env.process(user(env, "high", 1, 1.0))
+    env.run()
+    assert grants == ["high", "low"]
+
+
+def test_preemptive_resource_evicts_lower_priority():
+    env = Environment()
+    resource = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def background(env):
+        with resource.request(priority=10) as req:
+            yield req
+            try:
+                yield env.timeout(100.0)
+                log.append("background-done")
+            except Interrupt as interrupt:
+                assert isinstance(interrupt.cause, Preempted)
+                log.append(("preempted", env.now))
+
+    def urgent(env):
+        yield env.timeout(3.0)
+        with resource.request(priority=0) as req:
+            yield req
+            log.append(("urgent-running", env.now))
+            yield env.timeout(1.0)
+
+    env.process(background(env))
+    env.process(urgent(env))
+    env.run()
+    assert ("preempted", 3.0) in log
+    assert ("urgent-running", 3.0) in log
+
+
+def test_preemptive_resource_equal_priority_waits():
+    env = Environment()
+    resource = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def user(env, name, delay):
+        yield env.timeout(delay)
+        with resource.request(priority=5) as req:
+            yield req
+            log.append((name, env.now))
+            yield env.timeout(10.0)
+
+    env.process(user(env, "first", 0.0))
+    env.process(user(env, "second", 1.0))
+    env.run()
+    assert log == [("first", 0.0), ("second", 10.0)]
+
+
+def test_container_put_get():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=10.0)
+    levels = []
+
+    def producer(env, tank):
+        for _ in range(3):
+            yield env.timeout(1.0)
+            yield tank.put(30.0)
+            levels.append(("put", env.now, tank.level))
+
+    def consumer(env, tank):
+        yield tank.get(80.0)
+        levels.append(("got", env.now, tank.level))
+
+    env.process(producer(env, tank))
+    env.process(consumer(env, tank))
+    env.run()
+    assert ("got", 3.0, 20.0) in levels
+
+
+def test_container_blocks_put_over_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=10.0)
+    done = []
+
+    def producer(env, tank):
+        yield tank.put(5.0)
+        done.append(env.now)
+
+    def consumer(env, tank):
+        yield env.timeout(4.0)
+        yield tank.get(6.0)
+
+    env.process(producer(env, tank))
+    env.process(consumer(env, tank))
+    env.run()
+    assert done == [4.0]
+
+
+def test_container_validates_arguments():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    tank = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)

@@ -1,0 +1,175 @@
+"""Tests for Store, FilterStore, and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, PriorityItem, PriorityStore, Store
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env, store):
+        for item in ["a", "b", "c"]:
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(5.0)
+        yield store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [(5.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env, store):
+        yield store.put(1)
+        yield store.put(2)
+        times.append(env.now)
+
+    def consumer(env, store):
+        yield env.timeout(3.0)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert times == [3.0]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    store.put("y")
+    env.run()
+    assert len(store) == 2
+
+
+def test_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    received = []
+
+    def consumer(env, store):
+        item = yield store.get(lambda item: item % 2 == 0)
+        received.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(1.0)
+        yield store.put(3)
+        yield env.timeout(1.0)
+        yield store.put(4)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert received == [(2.0, 4)]
+    assert store.items == [3]
+
+
+def test_filter_store_head_blocked_does_not_starve():
+    env = Environment()
+    store = FilterStore(env)
+    received = []
+
+    def blocked(env, store):
+        item = yield store.get(lambda item: item == "never")
+        received.append(("blocked", item))
+
+    def eager(env, store):
+        item = yield store.get(lambda item: item == "yes")
+        received.append(("eager", item))
+
+    def producer(env, store):
+        yield env.timeout(1.0)
+        yield store.put("yes")
+
+    env.process(blocked(env, store))
+    env.process(eager(env, store))
+    env.process(producer(env, store))
+    env.run(until=10.0)
+    assert received == [("eager", "yes")]
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    store = PriorityStore(env)
+    received = []
+
+    def producer(env, store):
+        yield store.put(PriorityItem(3, "low"))
+        yield store.put(PriorityItem(1, "high"))
+        yield store.put(PriorityItem(2, "mid"))
+
+    def consumer(env, store):
+        yield env.timeout(1.0)
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item.item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == ["high", "mid", "low"]
+
+
+def test_priority_item_comparison():
+    assert PriorityItem(1, "a") < PriorityItem(2, "b")
+    assert PriorityItem(1, "a") == PriorityItem(1, "a")
+    assert PriorityItem(1, "a") != PriorityItem(1, "b")
+
+
+def test_store_get_cancel():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env, store):
+        get = store.get()
+        yield env.timeout(1.0)
+        get.cancel()
+        return "cancelled"
+
+    def producer(env, store):
+        yield env.timeout(2.0)
+        yield store.put("item")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    # The cancelled getter must not have consumed the item.
+    assert store.items == ["item"]

@@ -1,0 +1,204 @@
+"""Tests for segmentation, reordering, and the RPC endpoint."""
+
+import pytest
+
+from repro.net import (
+    HeaderStack,
+    LambdaHeader,
+    Network,
+    Packet,
+    RpcHeader,
+    UDPHeader,
+)
+from repro.sim import Environment
+from repro.transport import (
+    REORDER_INSTRUCTIONS_PER_SEGMENT,
+    ReorderBuffer,
+    ReorderError,
+    RpcEndpoint,
+    RpcTimeout,
+    reassemble,
+    segment_message,
+)
+
+
+def test_segment_message_sizes():
+    segments = segment_message(10_000, segment_bytes=4096)
+    assert [s.length for s in segments] == [4096, 4096, 1808]
+    assert [s.offset for s in segments] == [0, 4096, 8192]
+    assert segments[-1].is_last
+    assert all(s.total == 3 for s in segments)
+
+
+def test_segment_single_packet():
+    segments = segment_message(100)
+    assert len(segments) == 1
+    assert segments[0].length == 100
+
+
+def test_segment_zero_bytes():
+    segments = segment_message(0)
+    assert len(segments) == 1
+    assert segments[0].length == 0
+
+
+def test_segment_with_payload_roundtrip():
+    blob = bytes(range(256)) * 40  # 10240 bytes
+    segments = segment_message(len(blob), segment_bytes=4096, payload=blob)
+    assert reassemble(segments) == blob
+    # Reassembly works regardless of order.
+    assert reassemble(list(reversed(segments))) == blob
+
+
+def test_segment_validation():
+    with pytest.raises(ValueError):
+        segment_message(-1)
+    with pytest.raises(ValueError):
+        segment_message(10, segment_bytes=0)
+    with pytest.raises(ValueError):
+        segment_message(10, payload=b"wrong-length-payload")
+
+
+def test_reassemble_missing_segment_raises():
+    segments = segment_message(10_000, segment_bytes=4096, payload=b"\0" * 10_000)
+    with pytest.raises(ValueError):
+        reassemble(segments[:-1])
+
+
+def test_reorder_buffer_in_order():
+    buffer = ReorderBuffer()
+    assert buffer.add("m", 0, 3, "a") is None
+    assert buffer.add("m", 1, 3, "b") is None
+    assert buffer.add("m", 2, 3, "c") == ["a", "b", "c"]
+    assert buffer.completed_messages == 1
+    assert buffer.in_flight == 0
+
+
+def test_reorder_buffer_out_of_order():
+    buffer = ReorderBuffer()
+    buffer.add("m", 2, 3, "c")
+    buffer.add("m", 0, 3, "a")
+    result = buffer.add("m", 1, 3, "b")
+    assert result == ["a", "b", "c"]
+
+
+def test_reorder_buffer_duplicates_ignored():
+    buffer = ReorderBuffer()
+    buffer.add("m", 0, 2, "a")
+    assert buffer.add("m", 0, 2, "a-again") is None
+    assert buffer.duplicate_segments == 1
+    assert buffer.add("m", 1, 2, "b") == ["a", "b"]
+
+
+def test_reorder_buffer_interleaved_messages():
+    buffer = ReorderBuffer()
+    buffer.add("m1", 0, 2, "x0")
+    buffer.add("m2", 0, 2, "y0")
+    assert buffer.in_flight == 2
+    assert buffer.add("m2", 1, 2, "y1") == ["y0", "y1"]
+    assert buffer.add("m1", 1, 2, "x1") == ["x0", "x1"]
+
+
+def test_reorder_buffer_validation():
+    buffer = ReorderBuffer()
+    with pytest.raises(ReorderError):
+        buffer.add("m", 0, 0, "a")
+    with pytest.raises(ReorderError):
+        buffer.add("m", 5, 3, "a")
+    buffer.add("m", 0, 3, "a")
+    with pytest.raises(ReorderError):
+        buffer.add("m", 1, 4, "b")  # total changed
+
+
+def test_reorder_buffer_pending_and_evict():
+    buffer = ReorderBuffer()
+    buffer.add("m", 0, 4, "a")
+    assert buffer.pending("m") == 3
+    assert buffer.evict("m") == 1
+    assert buffer.pending("m") == 0
+    assert buffer.evict("m") == 0
+
+
+def test_reorder_cost_matches_paper_footnote():
+    """Four 100 B packets cost 120 instructions (paper fn. 3)."""
+    buffer = ReorderBuffer()
+    assert buffer.instructions_for(4) == 120
+    assert REORDER_INSTRUCTIONS_PER_SEGMENT == 30
+
+
+def make_endpoint_pair(responder):
+    env = Environment()
+    network = Network(env)
+    caller_node = network.add_node("caller")
+    server_node = network.add_node("server")
+    endpoint = RpcEndpoint(env, caller_node, timeout=0.01, retries=2)
+    caller_node.attach(lambda p: endpoint.on_packet(p))
+    server_node.attach(lambda p: responder(env, server_node, p))
+    return env, endpoint, server_node
+
+
+def echo_responder(env, node, packet):
+    lam = packet.headers.require("LambdaHeader")
+    node.send(Packet(
+        node.name, packet.src,
+        headers=HeaderStack([
+            UDPHeader(),
+            LambdaHeader(request_id=lam.request_id, is_response=True),
+            RpcHeader(method="RESP", status=0),
+        ]),
+        payload_bytes=32,
+    ))
+
+
+def test_rpc_endpoint_roundtrip():
+    env, endpoint, server = make_endpoint_pair(echo_responder)
+
+    def scenario():
+        response = yield endpoint.call("server", method="GET", key="k")
+        assert response.headers.require("RpcHeader").status == 0
+        assert endpoint.outstanding == 0
+
+    process = env.process(scenario())
+    env.run(until=process)
+
+
+def test_rpc_endpoint_retransmits_on_loss():
+    calls = []
+
+    def flaky(env, node, packet):
+        calls.append(packet)
+        if len(calls) >= 2:
+            echo_responder(env, node, packet)
+
+    env, endpoint, server = make_endpoint_pair(flaky)
+
+    def scenario():
+        yield endpoint.call("server")
+        assert endpoint.retransmissions == 1
+
+    process = env.process(scenario())
+    env.run(until=process)
+    assert len(calls) == 2
+
+
+def test_rpc_endpoint_timeout():
+    env, endpoint, server = make_endpoint_pair(lambda env, node, p: None)
+
+    def scenario():
+        with pytest.raises(RpcTimeout):
+            yield endpoint.call("server")
+        assert endpoint.timeouts == 3  # initial + 2 retries
+
+    process = env.process(scenario())
+    env.run(until=process)
+
+
+def test_rpc_endpoint_ignores_unknown_responses():
+    env, endpoint, server = make_endpoint_pair(echo_responder)
+    stray = Packet(
+        "server", "caller",
+        headers=HeaderStack([
+            UDPHeader(), LambdaHeader(request_id=999, is_response=True),
+        ]),
+    )
+    assert endpoint.on_packet(stray) is False

@@ -1,0 +1,163 @@
+"""Tests for the host-handler forms of the benchmark workloads."""
+
+import pytest
+
+from repro.host import BareMetalRuntime, ContainerRuntime, HostServer
+from repro.kvcache import MemcachedServer
+from repro.net import (
+    EthernetHeader,
+    HeaderStack,
+    IPv4Header,
+    LambdaHeader,
+    Network,
+    Packet,
+    UDPHeader,
+)
+from repro.sim import Environment, RngRegistry
+from repro.workloads import (
+    ACK_BYTES,
+    KV_RESPONSE_BYTES,
+    fig9_workloads,
+    image_transformer_host,
+    kv_client_host,
+    standard_workloads,
+    web_server_host,
+)
+
+
+def request(wid, request_id=1, payload_bytes=64):
+    return Packet(
+        "client", "worker",
+        HeaderStack([
+            EthernetHeader(), IPv4Header(), UDPHeader(),
+            LambdaHeader(wid=wid, request_id=request_id),
+        ]),
+        payload_bytes=payload_bytes,
+    )
+
+
+def make_env():
+    env = Environment()
+    network = Network(env)
+    client = network.add_node("client")
+    worker = HostServer(env, network.add_node("worker"))
+    return env, network, client, worker
+
+
+def test_web_host_handler_latency_and_size():
+    env, network, client, worker = make_env()
+    worker.deploy("web", wid=1, handler=web_server_host(),
+                  runtime=BareMetalRuntime())
+    responses = []
+    client.attach(lambda p: responses.append((p, env.now)))
+    client.send(request(wid=1))
+    env.run()
+    response, at = responses[0]
+    assert response.payload_bytes == 1400
+    # Bare-metal isolation latency: order 100 us (kernel+dispatch+compute).
+    assert 100e-6 < at < 1e-3
+
+
+def test_kv_host_handler_queries_memcached():
+    env, network, client, worker = make_env()
+    cache = MemcachedServer(env, network.add_node("memcached"))
+    worker.deploy("kv", wid=2, handler=kv_client_host(),
+                  runtime=BareMetalRuntime())
+    responses = []
+    client.attach(lambda p: responses.append(p))
+    client.send(request(wid=2, request_id=7))
+    env.run()
+    assert cache.stats.gets == 1
+    assert responses[0].meta["lambda_meta"]["status"] == 1  # miss (empty cache)
+    assert responses[0].payload_bytes == 32
+
+
+def test_kv_host_handler_hit_after_set():
+    env, network, client, worker = make_env()
+    cache = MemcachedServer(env, network.add_node("memcached"))
+    cache.data["user7"] = b"profile"
+    worker.deploy("kv", wid=2, handler=kv_client_host(),
+                  runtime=BareMetalRuntime())
+    responses = []
+    client.attach(lambda p: responses.append(p))
+    client.send(request(wid=2, request_id=7))
+    env.run()
+    assert responses[0].meta["lambda_meta"]["status"] == 0
+    assert responses[0].payload_bytes == KV_RESPONSE_BYTES
+
+
+def test_image_host_handler_compute_scales():
+    env, network, client, worker = make_env()
+    worker.deploy(
+        "img", wid=3,
+        handler=image_transformer_host(width=256, height=256),
+        runtime=BareMetalRuntime(),
+    )
+    responses = []
+    client.attach(lambda p: responses.append((p, env.now)))
+    client.send(request(wid=3, payload_bytes=256 * 256 * 4))
+    env.run()
+    response, at = responses[0]
+    assert response.payload_bytes == ACK_BYTES
+    # 65536 pixels x 0.36 us/px ~ 23.6 ms of compute.
+    assert 20e-3 < at < 60e-3
+
+
+def test_container_image_handler_slower_than_bare_metal():
+    def run_backend(runtime):
+        env, network, client, worker = make_env()
+        worker.deploy("img", wid=3,
+                      handler=image_transformer_host(width=128, height=128),
+                      runtime=runtime)
+        times = []
+        client.attach(lambda p: times.append(env.now))
+        client.send(request(wid=3, payload_bytes=128 * 128 * 4))
+        env.run()
+        return times[0]
+
+    bare = run_backend(BareMetalRuntime())
+    container = run_backend(ContainerRuntime())
+    assert 1.3 < container / bare < 4.0  # compute multiplier + dispatch
+
+
+def test_rng_jitter_varies_latency():
+    rng = RngRegistry(seed=9).stream("jitter")
+    env, network, client, worker = make_env()
+    worker.deploy("web", wid=1, handler=web_server_host(rng=rng),
+                  runtime=BareMetalRuntime())
+    times = []
+    last = [0.0]
+
+    def on_response(packet):
+        times.append(env.now - last[0])
+
+    client.attach(on_response)
+
+    def driver(env):
+        for index in range(20):
+            last[0] = env.now
+            client.send(request(wid=1, request_id=index))
+            yield env.timeout(0.01)
+
+    env.process(driver(env))
+    env.run()
+    assert len(set(round(t, 9) for t in times)) > 10  # jittered
+
+
+def test_registry_specs_complete():
+    workloads = standard_workloads()
+    assert set(workloads) == {"web_server", "kv_client", "image_transformer"}
+    for spec in workloads.values():
+        program = spec.nic_program()
+        program.validate()
+        handler = spec.host_handler()
+        assert callable(handler)
+    assert workloads["image_transformer"].uses_rdma
+    assert workloads["image_transformer"].request_bytes == 1024 * 1024
+
+
+def test_fig9_registry_has_two_kv_clients():
+    workloads = fig9_workloads()
+    assert len(workloads) == 4
+    assert workloads["kv_client_get"].nic_kwargs["method"] == "GET"
+    assert workloads["kv_client_set"].nic_kwargs["method"] == "SET"
