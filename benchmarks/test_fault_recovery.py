@@ -1,0 +1,68 @@
+"""Benchmark: the fault storm — availability, failover, determinism.
+
+Runs the scripted fault storm (NIC death, island loss, full-fleet loss
+with degradation to bare-metal, restoration, a link flap, and a Raft
+leader crash) under open-loop load, and asserts the robustness SLOs:
+
+* availability stays >= 99% for every workload *through* the storm;
+* every fault is answered by a bounded-time failover action;
+* two same-seed runs produce identical fault traces and failover
+  event sequences (full determinism).
+"""
+
+from repro.experiments import fault_recovery
+
+#: The storm's service-level objectives.
+MIN_AVAILABILITY = 0.99
+MAX_TIME_TO_FAILOVER = 2.0  # seconds, detection -> route installed
+
+
+def run_storm():
+    return fault_recovery.run_storm(seed=42, rate_rps=20.0)
+
+
+def test_fault_recovery(benchmark):
+    storm = benchmark.pedantic(run_storm, rounds=1, iterations=1)
+
+    # -- availability through the storm ---------------------------------
+    for name, result in storm["during"].items():
+        avail = fault_recovery.availability(result)
+        benchmark.extra_info[f"availability_{name}"] = round(avail, 4)
+        assert result.completed > 0
+        assert avail >= MIN_AVAILABILITY, \
+            f"{name}: availability {avail:.4f} < {MIN_AVAILABILITY}"
+
+    # -- the storm actually exercised every recovery path ----------------
+    actions = {action for _, action, _ in storm["trace"]}
+    assert {"kill_nic", "kill_island", "restore_nic", "link_down",
+            "crash_raft"} <= actions
+    kinds = [event.kind for event in storm["events"]]
+    assert "shrink" in kinds    # one NIC died, survivors kept serving
+    assert "degrade" in kinds   # whole fleet died -> bare-metal standby
+    assert "restore" in kinds   # fleet returned -> home routes restored
+
+    # -- every failover completed within the SLO -------------------------
+    assert storm["events"], "no failover actions recorded"
+    worst = max(event.duration for event in storm["events"])
+    benchmark.extra_info["worst_failover_s"] = round(worst, 4)
+    benchmark.extra_info["mean_time_to_failover_s"] = round(storm["mttf"], 4)
+    assert worst <= MAX_TIME_TO_FAILOVER
+
+    # -- service recovers: post-storm tail is clean ----------------------
+    for name, result in storm["after"].items():
+        assert fault_recovery.availability(result) == 1.0
+        during_p99 = storm["during"][name].percentile(99)
+        assert result.percentile(99) <= during_p99 * 1.5 + 1e-3
+
+
+def test_fault_storm_is_deterministic():
+    first = run_storm()
+    second = run_storm()
+    assert first["trace"] == second["trace"]
+    assert [(e.at, e.workload, e.kind, e.completed_at)
+            for e in first["events"]] == \
+        [(e.at, e.workload, e.kind, e.completed_at)
+         for e in second["events"]]
+    for name in first["during"]:
+        assert first["during"][name].latencies == \
+            second["during"][name].latencies

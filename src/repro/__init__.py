@@ -17,6 +17,7 @@ Serverless Compute on Programmable SmartNICs" (ICDCS 2020). Subpackages:
 - :mod:`repro.workloads` — the paper's three benchmark lambdas
 - :mod:`repro.core` — λ-NIC framework core (Match+Lambda, fleet runtime, DRF)
 - :mod:`repro.serverless` — the OpenFaaS-like framework and testbed
+- :mod:`repro.faults` — deterministic fault injection (chaos plans)
 - :mod:`repro.experiments` — one driver per paper table/figure
 
 Start with :class:`repro.serverless.Testbed` (see README / examples).

@@ -1,6 +1,7 @@
 """Experiment drivers: one module per paper table and figure."""
 
 from . import (
+    fault_recovery,
     fig6_latency,
     fig7_throughput,
     fig8_contention,
@@ -29,6 +30,7 @@ ALL_EXPERIMENTS = {
     "table4": table4_startup.run,
     "fig9": fig9_optimizer.run,
     "reorder": micro_reorder.run,
+    "fault_recovery": fault_recovery.run,
 }
 
 
@@ -46,6 +48,7 @@ __all__ = [
     "ExperimentReport",
     "FAST_CONFIG",
     "WORKLOAD_NAMES",
+    "fault_recovery",
     "fig6_latency",
     "fig7_throughput",
     "fig8_contention",

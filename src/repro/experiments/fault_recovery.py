@@ -1,0 +1,180 @@
+"""Fault storm: availability and recovery under injected failures.
+
+Not a paper table — a robustness experiment over the paper's testbed.
+All three workloads are deployed on λ-NIC (warm bare-metal standbys
+ready), then a scripted :class:`~repro.faults.FaultPlan` kills one NIC,
+takes an NPU island offline, kills the *other* NIC (forcing graceful
+degradation to bare-metal), restores the fleet (reversing the
+degradation), flaps a link, and crashes the Raft leader — all while
+open-loop load runs against the gateway.
+
+Reported per workload: availability during the storm, p99 during vs
+after, plus the health monitor's mean time-to-failover and the
+injector's event trace (identical across same-seed runs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults import FaultPlan
+from ..serverless import Testbed, open_loop
+from ..workloads import standard_workloads
+from .calibration import DEFAULT_CONFIG, WORKLOAD_NAMES, ExperimentConfig
+from .harness import Cell, ExperimentReport
+
+#: Gateway tuned for fast failure detection (short timeout, aggressive
+#: retries with jittered backoff, quick breaker reset probes).
+GATEWAY_KWARGS = dict(
+    request_timeout=0.25,
+    max_retries=8,
+    backoff_base=0.05,
+    backoff_max=0.5,
+    breaker_threshold=3,
+    breaker_reset_timeout=0.5,
+)
+
+#: How long load keeps running after the last fault, and the length of
+#: the clean "after" measurement phase.
+SETTLE_SECONDS = 5.0
+AFTER_SECONDS = 10.0
+
+
+def build_plan(t0: float) -> FaultPlan:
+    """The scripted storm, offset from ``t0`` (end of deployment)."""
+    return (
+        FaultPlan()
+        # One NIC dies: the monitor shrinks routes to the survivor.
+        .kill_nic(t0 + 5.0, "m2-nic")
+        # Partial capacity loss on the survivor: island 0 goes dark.
+        .kill_island(t0 + 8.0, "m3-nic", island=0)
+        .restore_island(t0 + 12.0, "m3-nic", island=0)
+        # The last NIC dies too: degrade to the warm bare-metal standby.
+        .kill_nic(t0 + 15.0, "m3-nic")
+        # Power returns: the monitor restores the λ-NIC home routes.
+        .restore_nic(t0 + 22.0, "m2-nic")
+        .restore_nic(t0 + 22.0, "m3-nic")
+        # A transient cable pull; retries + breakers ride it out.
+        .link_flap(t0 + 26.0, "m3-nic", down_for=0.5)
+        # Control-plane churn: the Raft leader crashes mid-run.
+        .crash_raft(t0 + 30.0, "leader")
+    )
+
+
+def run_storm(seed: int = 42, rate_rps: float = 25.0,
+              after_rate_rps: Optional[float] = None) -> dict:
+    """Run the full storm scenario; returns raw results for reporting.
+
+    The returned dict has ``during`` / ``after`` ({workload: LoadResult}),
+    ``trace`` (the injector's fired events), ``events`` (failover
+    actions), ``mttf`` (mean time-to-failover) and the testbed itself.
+    """
+    tb = Testbed(
+        seed=seed, n_workers=2, with_etcd=True, with_failover=True,
+        gateway_kwargs=dict(GATEWAY_KWARGS),
+    )
+    tb.add_lambda_nic_backend()
+    tb.add_bare_metal_backend()
+    specs = [standard_workloads()[name] for name in WORKLOAD_NAMES]
+    after_rate = after_rate_rps if after_rate_rps is not None else rate_rps
+
+    def load_phase(phase: str, duration: float):
+        procs = {}
+        for spec in specs:
+            procs[spec.name] = open_loop(
+                tb.env, tb.gateway, spec.name,
+                rate_rps=rate_rps if phase == "during" else after_rate,
+                duration=duration,
+                rng=tb.rng.stream(f"load:{phase}:{spec.name}"),
+                payload_bytes=spec.request_bytes if spec.uses_rdma else None,
+            )
+        return procs
+
+    def scenario(env):
+        yield tb.etcd_cluster.wait_for_leader()
+        for spec in specs:
+            yield tb.manager.deploy(spec, "lambda-nic")
+        # Warm standbys make degradation a pure re-route.
+        for spec in specs:
+            yield tb.manager.prepare_standby(spec.name, "bare-metal")
+
+        t0 = env.now
+        plan = build_plan(t0)
+        tb.add_fault_injector(plan)
+
+        during_procs = load_phase(
+            "during", (plan.horizon - env.now) + SETTLE_SECONDS
+        )
+        yield env.all_of(list(during_procs.values()))
+        during = {name: proc.value for name, proc in during_procs.items()}
+
+        after_procs = load_phase("after", AFTER_SECONDS)
+        yield env.all_of(list(after_procs.values()))
+        after = {name: proc.value for name, proc in after_procs.items()}
+        return during, after
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    during, after = process.value
+    return {
+        "testbed": tb,
+        "during": during,
+        "after": after,
+        "trace": list(tb.injector.trace),
+        "events": list(tb.health.events),
+        "mttf": tb.health.mean_time_to_failover(),
+    }
+
+
+def availability(result) -> float:
+    """Fraction of issued requests that completed (1.0 == no failures)."""
+    issued = result.completed + result.failures
+    return result.completed / issued if issued else 1.0
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """The registered experiment entry point."""
+    config = config or DEFAULT_CONFIG
+    storm = run_storm(seed=config.seed)
+
+    cells = {}
+    rows = []
+    for name in WORKLOAD_NAMES:
+        during, after = storm["during"][name], storm["after"][name]
+        cells[name] = Cell(
+            workload=name, backend="lambda-nic",
+            mean=during.mean_latency, p50=during.percentile(50),
+            p99=during.percentile(99),
+            samples=sorted(during.latencies),
+            extra={
+                "availability": availability(during),
+                "after_p99": after.percentile(99),
+            },
+        )
+        rows.append([
+            name,
+            100.0 * availability(during),
+            during.percentile(99) * 1e3,
+            after.percentile(99) * 1e3,
+            during.failures,
+        ])
+
+    n_shrinks = sum(1 for e in storm["events"] if e.kind == "shrink")
+    n_degrades = sum(1 for e in storm["events"] if e.kind == "degrade")
+    n_restores = sum(1 for e in storm["events"] if e.kind == "restore")
+    report = ExperimentReport(
+        experiment="Fault storm",
+        title="availability and recovery under injected failures",
+        headers=["workload", "avail_pct", "p99_ms_during", "p99_ms_after",
+                 "failed"],
+        rows=rows,
+        notes=[
+            f"{len(storm['trace'])} faults fired; "
+            f"{len(storm['events'])} failover actions "
+            f"({n_shrinks} shrink, {n_degrades} degrade, "
+            f"{n_restores} restore); "
+            f"mean time-to-failover {storm['mttf'] * 1e3:.1f} ms",
+        ],
+        cells=cells,
+    )
+    return report

@@ -1,0 +1,12 @@
+"""Deterministic fault injection for the λ-NIC testbed.
+
+Declarative :class:`FaultPlan` schedules (kill NICs and NPU islands,
+crash host workers, flap links, partition the switch, crash Raft
+nodes), replayed by a :class:`FaultInjector` process. Same seed + same
+plan => identical event traces.
+"""
+
+from .injector import FaultInjector
+from .plan import ACTIONS, FaultEvent, FaultPlan
+
+__all__ = ["ACTIONS", "FaultEvent", "FaultInjector", "FaultPlan"]

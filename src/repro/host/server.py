@@ -59,7 +59,9 @@ class ServerStats:
     responses_sent: int = 0
     dropped_unknown: int = 0
     dropped_cold: int = 0
+    dropped_down: int = 0
     handler_errors: int = 0
+    crashes: int = 0
     latencies: List[float] = field(default_factory=list)
     per_lambda_requests: Dict[str, int] = field(default_factory=dict)
 
@@ -143,6 +145,10 @@ class HostServer:
         self.cpu = cpu or HostCPU(env, self.params.cpu)
         self.memory = HostMemory()
         self.stats = ServerStats()
+        #: False after :meth:`crash`: inbound packets are dropped and
+        #: in-flight handlers die silently until :meth:`restart`.
+        self.online = True
+        self._epoch = 0
         self._deployments: Dict[str, Deployment] = {}
         self._by_wid: Dict[int, Deployment] = {}
         self._shared_locks: Dict[str, Resource] = {}
@@ -207,9 +213,42 @@ class HostServer:
         del self._by_wid[deployment.wid]
         self.memory.free(deployment.runtime.memory_overhead_bytes)
 
+    # -- failure injection -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the worker: drop inbound traffic, kill in-flight work.
+
+        Deployments stay installed but go cold (their processes died
+        with the machine); :meth:`restart` must re-boot them before the
+        server serves again.
+        """
+        self.online = False
+        self._epoch += 1
+        self.stats.crashes += 1
+        for deployment in self._deployments.values():
+            deployment.warm = False
+        # Outstanding service-call waiters died with their handlers.
+        self._pending.clear()
+
+    def restart(self, reboot_seconds: float = 1.0):
+        """Process: power the machine back on and re-warm deployments."""
+
+        def rebooter():
+            yield self.env.timeout(reboot_seconds)
+            self.online = True
+            starts = [self.start(name) for name in sorted(self._deployments)]
+            if starts:
+                yield self.env.all_of(starts)
+            return self
+
+        return self.env.process(rebooter())
+
     # -- datapath --------------------------------------------------------------
 
     def receive(self, packet: Packet) -> None:
+        if not self.online:
+            self.stats.dropped_down += 1
+            return
         header = packet.headers.get("LambdaHeader")
         if header is not None and header.is_response and \
                 header.request_id in self._pending:
@@ -219,6 +258,7 @@ class HostServer:
 
     def _handle(self, packet: Packet):
         arrival = self.env.now
+        epoch = self._epoch
         kernel = self.params.kernel
         yield self.env.timeout(kernel.rx_seconds)
         self.cpu.account("kernel", kernel.cpu_per_packet_seconds)
@@ -256,10 +296,17 @@ class HostServer:
         except Exception:
             # A crashing lambda must not take the worker down: the
             # request is dropped (the client's retry/timeout handles
-            # it) and the failure is counted.
-            self.stats.handler_errors += 1
+            # it) and the failure is counted. Exceptions provoked by a
+            # machine crash mid-request are the machine's fault, not
+            # the handler's, and are not counted against it.
+            if epoch == self._epoch:
+                self.stats.handler_errors += 1
             return
 
+        if epoch != self._epoch:
+            # The machine crashed while this request was in flight:
+            # the response died with it.
+            return
         yield self.env.timeout(kernel.tx_seconds)
         self.cpu.account("kernel", kernel.cpu_per_packet_seconds)
 

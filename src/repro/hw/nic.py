@@ -52,6 +52,7 @@ class NicStats:
     sent_to_host: int = 0
     dropped_no_firmware: int = 0
     dropped_during_swap: int = 0
+    dropped_nic_down: int = 0
     rdma_segments: int = 0
     rdma_messages: int = 0
     total_cycles: int = 0
@@ -107,6 +108,9 @@ class SmartNIC:
             self.islands[island_id].add_core(core)
             self.cores.append(core)
 
+        #: False after :meth:`fail`: the whole NIC is dark (power loss,
+        #: PCIe fault) and drops every packet until :meth:`restore`.
+        self.online = True
         self.firmware: Optional[Firmware] = None
         self._wid_to_lambda: Dict[int, str] = {}
         self._lambda_memory: Dict[str, bytearray] = {}
@@ -202,10 +206,60 @@ class SmartNIC:
     def total_threads(self) -> int:
         return sum(core.threads for core in self.cores)
 
+    # -- failure injection ----------------------------------------------------
+
+    @property
+    def available_cores(self) -> List[NPUCore]:
+        """Cores the dispatcher may schedule onto (online islands only)."""
+        return [core for core in self.cores if core.online]
+
+    @property
+    def serving(self) -> bool:
+        """True when the NIC can execute at least one request."""
+        return self.online and bool(self.available_cores)
+
+    def fail(self) -> None:
+        """Kill the whole NIC: every packet is dropped until restore.
+
+        Firmware and persistent lambda memory survive (they live in
+        flash / DRAM that is reloaded on power-up), so a restored NIC
+        resumes serving immediately — the failure model is loss of the
+        datapath, not of the deployment.
+        """
+        self.online = False
+
+    def restore(self) -> None:
+        """Bring a failed NIC back; it serves the instant power returns."""
+        self.online = True
+
+    def fail_island(self, island_id: int) -> None:
+        """Take one NPU island offline; its cores stop being scheduled.
+
+        In-flight work on the island's cores is allowed to drain (the
+        run-to-completion contract, paper D1); only new dispatch avoids
+        the island.
+        """
+        for core in self._island_cores(island_id):
+            core.online = False
+
+    def restore_island(self, island_id: int) -> None:
+        for core in self._island_cores(island_id):
+            core.online = True
+
+    def _island_cores(self, island_id: int) -> List[NPUCore]:
+        if not 0 <= island_id < len(self.islands):
+            raise ValueError(
+                f"no island {island_id} (have {len(self.islands)})"
+            )
+        return list(self.islands[island_id].cores.values())
+
     # -- datapath -------------------------------------------------------------
 
     def receive(self, packet: Packet) -> None:
         """Network-node receive handler."""
+        if not self.online:
+            self.stats.dropped_nic_down += 1
+            return
         if self._swapping:
             self.stats.dropped_during_swap += 1
             return
@@ -256,7 +310,12 @@ class SmartNIC:
         )
         cycles = result.cycles + PIPELINE_OVERHEAD_CYCLES + extra_cycles
 
-        core = self.scheduler.pick_core(self.cores, lambda_name or "<none>")
+        cores = self.available_cores
+        if not cores:
+            # Every island is failed: nothing can execute the request.
+            self.stats.dropped_nic_down += 1
+            return
+        core = self.scheduler.pick_core(cores, lambda_name or "<none>")
         yield self.env.process(core.execute(cycles))
 
         self.stats.total_cycles += cycles

@@ -43,6 +43,9 @@ class NPUCore:
         self.clock_hz = clock_hz
         self.slots = Resource(env, capacity=threads)
         self.stats = CoreStats()
+        #: False while the core's island is failed (fault injection);
+        #: the NIC dispatcher never schedules onto an offline core.
+        self.online = True
 
     @property
     def busy_threads(self) -> int:

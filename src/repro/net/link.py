@@ -21,11 +21,13 @@ class LinkStats:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
+        self.packets_dropped_down = 0
 
     def __repr__(self) -> str:
         return (
             f"<LinkStats sent={self.packets_sent} bytes={self.bytes_sent} "
-            f"dropped={self.packets_dropped}>"
+            f"dropped={self.packets_dropped} "
+            f"dropped_down={self.packets_dropped_down}>"
         )
 
 
@@ -49,6 +51,7 @@ class _Direction:
         self.deliver = deliver
         self.drop_probability = drop_probability
         self.rng = rng
+        self.up = True
         self.queue: Store = Store(env)
         self.stats = LinkStats()
         env.process(self._serializer())
@@ -56,6 +59,10 @@ class _Direction:
     def _serializer(self):
         while True:
             packet = yield self.queue.get()
+            if not self.up:
+                self.stats.packets_dropped += 1
+                self.stats.packets_dropped_down += 1
+                continue
             if self.drop_probability > 0 and self.rng is not None:
                 if self.rng.random() < self.drop_probability:
                     self.stats.packets_dropped += 1
@@ -111,6 +118,21 @@ class Link:
             env, f"{b}->{a}", bandwidth_bps, propagation_delay,
             self._to_a, drop_probability, rng,
         )
+
+    @property
+    def up(self) -> bool:
+        """True when both directions carry traffic."""
+        return self._ab.up and self._ba.up
+
+    def set_state(self, up: bool) -> None:
+        """Bring the whole link up or down (both directions).
+
+        While down, queued and newly enqueued packets are dropped the
+        instant the serializer reaches them; no traffic crosses in
+        either direction until the link is brought back up.
+        """
+        self._ab.up = up
+        self._ba.up = up
 
     def attach(self, endpoint: str, deliver: Callable[[Packet], None]) -> None:
         """Register the receive callback for one endpoint."""

@@ -56,6 +56,13 @@ class Network:
         drop_probability: float = 0.0,
         rng=None,
     ) -> None:
+        # Mirror the per-link determinism guard: a lossy fabric without
+        # an explicit RNG would silently never drop (Link only rolls the
+        # dice when it has an rng), breaking reproducibility contracts.
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        if drop_probability > 0 and rng is None:
+            raise ValueError("a drop probability requires an rng")
         self.env = env
         self.bandwidth_bps = bandwidth_bps
         self.propagation_delay = propagation_delay
@@ -105,3 +112,26 @@ class Network:
     def link_stats(self, name: str):
         """Uplink (node->switch) transmit stats for ``name``."""
         return self._links[name].stats(name)
+
+    # -- fault injection hooks -------------------------------------------
+
+    def link(self, name: str) -> Link:
+        """The cable between node ``name`` and the switch."""
+        try:
+            return self._links[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def set_link_state(self, name: str, up: bool) -> None:
+        """Cut or restore the cable between ``name`` and the switch."""
+        self.link(name).set_state(up)
+
+    def link_up(self, name: str) -> bool:
+        return self.link(name).up
+
+    def partition(self, *groups) -> None:
+        """Partition the switch fabric (see :meth:`Switch.set_partition`)."""
+        self.switch.set_partition(*groups)
+
+    def heal_partition(self) -> None:
+        self.switch.heal_partition()

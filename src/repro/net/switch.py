@@ -7,7 +7,7 @@ forwards out of per-port FIFO queues.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Optional
 
 from ..sim import Environment, Store
 from .link import Link
@@ -19,6 +19,7 @@ class SwitchStats:
         self.packets_forwarded = 0
         self.packets_flooded = 0
         self.packets_dropped_unknown = 0
+        self.packets_dropped_partition = 0
 
 
 class Switch:
@@ -36,6 +37,8 @@ class Switch:
         self._links: Dict[str, Link] = {}  # peer node -> link
         self._table: Dict[str, str] = {}  # dst node -> peer node (port)
         self._pipeline: Store = Store(env)
+        #: Node -> partition-group index; None means no active partition.
+        self._partition: Optional[Dict[str, int]] = None
         self.stats = SwitchStats()
         env.process(self._forwarder())
 
@@ -55,6 +58,37 @@ class Switch:
     def ports(self) -> list:
         return sorted(self._links)
 
+    # -- partitions ------------------------------------------------------
+
+    def set_partition(self, *groups: Iterable[str]) -> None:
+        """Split the fabric: packets between distinct groups are dropped.
+
+        Each argument is an iterable of node names forming one side of
+        the partition; nodes not named in any group default to the
+        first group, so callers only need to enumerate the minority
+        side(s).
+        """
+        if len(groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                mapping[name] = index
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        """Remove any active partition; full connectivity resumes."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def _crosses_partition(self, src: str, dst: str) -> bool:
+        if self._partition is None:
+            return False
+        return self._partition.get(src, 0) != self._partition.get(dst, 0)
+
     def _receive(self, packet: Packet) -> None:
         self._pipeline.put(packet)
 
@@ -65,6 +99,9 @@ class Switch:
             peer = self._table.get(packet.dst)
             if peer is None:
                 self.stats.packets_dropped_unknown += 1
+                continue
+            if self._crosses_partition(packet.src, peer):
+                self.stats.packets_dropped_partition += 1
                 continue
             packet.stamp(self.name, self.env.now)
             self.stats.packets_forwarded += 1

@@ -1,6 +1,7 @@
 """OpenFaaS-like serverless framework with a λ-NIC backend."""
 
 from .autoscaler import AutoScaler, ScalingDecision
+from .breaker import CLOSED, CircuitBreaker, HALF_OPEN, OPEN
 from .backends import (
     Backend,
     BareMetalBackend,
@@ -13,9 +14,20 @@ from .backends import (
 from .framework import MASTER, Testbed, WORKERS
 from .gateway import Gateway, GatewayTimeout, RequestOutcome, Route
 from .loadgen import LoadResult, closed_loop, open_loop, round_robin_closed_loop
-from .manager import DeploymentRecord, WorkloadManager
+from .manager import (
+    DEFAULT_FALLBACK_ORDER,
+    DeploymentRecord,
+    WorkloadManager,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .monitor import Alert, MonitoringEngine, TimeSeries, WatchService
+from .monitor import (
+    Alert,
+    FailoverEvent,
+    HealthMonitor,
+    MonitoringEngine,
+    TimeSeries,
+    WatchService,
+)
 from .storage import ObjectStorage, StorageError, StoredObject
 
 __all__ = [
@@ -23,13 +35,19 @@ __all__ = [
     "AutoScaler",
     "Backend",
     "BareMetalBackend",
+    "CLOSED",
+    "CircuitBreaker",
     "ContainerBackend",
     "Counter",
+    "DEFAULT_FALLBACK_ORDER",
     "DeployResult",
     "DeploymentRecord",
+    "FailoverEvent",
     "Gauge",
     "Gateway",
     "GatewayTimeout",
+    "HALF_OPEN",
+    "HealthMonitor",
     "Histogram",
     "HostBackend",
     "LambdaNicBackend",
@@ -37,6 +55,7 @@ __all__ = [
     "MASTER",
     "MetricsRegistry",
     "MonitoringEngine",
+    "OPEN",
     "ObjectStorage",
     "RDMA_BUFFER_POOL",
     "RequestOutcome",

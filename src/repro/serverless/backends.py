@@ -56,6 +56,15 @@ class Backend:
     def targets(self) -> List[str]:
         raise NotImplementedError
 
+    def healthy_targets(self) -> List[str]:
+        """Targets currently able to serve (control-plane liveness).
+
+        This is the kubelet-heartbeat view: which workers/NICs does the
+        substrate believe are up right now. The gateway's circuit
+        breakers provide the complementary data-plane view.
+        """
+        return self.targets
+
 
 class HostBackend(Backend):
     """Shared logic for the container and bare-metal backends."""
@@ -74,6 +83,9 @@ class HostBackend(Backend):
     @property
     def targets(self) -> List[str]:
         return [server.name for server in self.servers]
+
+    def healthy_targets(self) -> List[str]:
+        return [server.name for server in self.servers if server.online]
 
     def runtime(self) -> Runtime:
         return self.runtime_factory()
@@ -157,6 +169,9 @@ class LambdaNicBackend(Backend):
     @property
     def targets(self) -> List[str]:
         return [nic.name for nic in self.runtime.nics]
+
+    def healthy_targets(self) -> List[str]:
+        return [nic.name for nic in self.runtime.nics if nic.serving]
 
     def package_bytes(self, spec: WorkloadSpec) -> int:
         if self.runtime.firmware is not None:

@@ -1,0 +1,118 @@
+"""Per-target circuit breakers for the gateway datapath.
+
+A breaker tracks consecutive request failures against one target and
+ejects it from rotation once a threshold is crossed (OPEN). After a
+cool-down the breaker lets a single trial request through (HALF_OPEN);
+success closes the breaker, failure re-opens it with an exponentially
+growing cool-down. This is the standard Hystrix/Envoy outlier-ejection
+pattern, driven entirely by simulated time so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric encoding used for the breaker-state gauge.
+STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 0.5, OPEN: 1.0}
+
+
+class CircuitBreaker:
+    """Failure-counting breaker for one (gateway, target) pair."""
+
+    def __init__(
+        self,
+        target: str,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        backoff_factor: float = 2.0,
+        max_reset_timeout: float = 30.0,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset timeout must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.base_reset_timeout = reset_timeout
+        self.backoff_factor = backoff_factor
+        self.max_reset_timeout = max_reset_timeout
+        self.on_transition = on_transition
+
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.current_reset_timeout = reset_timeout
+        #: Lifetime counters (exported via the gateway's metrics).
+        self.opens = 0
+        self.closes = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May a request be sent to this target right now?
+
+        In OPEN state the call transitions to HALF_OPEN once the
+        cool-down has elapsed and admits exactly one trial request;
+        while a trial is outstanding further calls are refused.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at >= self.current_reset_timeout:
+                self._transition(HALF_OPEN)
+                return True
+            return False
+        # HALF_OPEN: one trial is already in flight.
+        return False
+
+    @property
+    def ejected(self) -> bool:
+        return self.state != CLOSED
+
+    # -- outcomes ---------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self.closes += 1
+            self.current_reset_timeout = self.base_reset_timeout
+            self._transition(CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        if self.state == HALF_OPEN:
+            # The trial failed: back off harder before the next one.
+            self.current_reset_timeout = min(
+                self.max_reset_timeout,
+                self.current_reset_timeout * self.backoff_factor,
+            )
+            self._open(now)
+            return
+        self.consecutive_failures += 1
+        if self.state == CLOSED and \
+                self.consecutive_failures >= self.failure_threshold:
+            self._open(now)
+
+    # -- internals --------------------------------------------------------
+
+    def _open(self, now: float) -> None:
+        self.opened_at = now
+        self.opens += 1
+        self._transition(OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old, self.state = self.state, new_state
+        if old != new_state and self.on_transition is not None:
+            self.on_transition(self.target, old, new_state)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.target!r} {self.state} "
+            f"failures={self.consecutive_failures}>"
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core import LambdaNicRuntime
+from ..faults import FaultInjector, FaultPlan
 from ..host import HostServer
 from ..hw import SmartNIC, UniformRandomScheduler
 from ..kvcache import MemcachedServer
@@ -22,7 +23,7 @@ from .backends import BareMetalBackend, ContainerBackend, LambdaNicBackend
 from .gateway import Gateway
 from .manager import WorkloadManager
 from .metrics import MetricsRegistry
-from .monitor import MonitoringEngine, WatchService
+from .monitor import HealthMonitor, MonitoringEngine, WatchService
 from .storage import ObjectStorage
 
 #: Names mirroring the paper's testbed machines.
@@ -41,8 +42,11 @@ class Testbed:
         n_workers: int = 4,
         with_etcd: bool = False,
         with_monitoring: bool = False,
+        with_failover: bool = False,
         gateway_kwargs: Optional[dict] = None,
         nic_kwargs: Optional[dict] = None,
+        manager_kwargs: Optional[dict] = None,
+        failover_kwargs: Optional[dict] = None,
     ) -> None:
         if not 1 <= n_workers <= len(WORKERS):
             raise ValueError(f"n_workers must be in [1, {len(WORKERS)}]")
@@ -54,11 +58,13 @@ class Testbed:
         self.nic_kwargs = dict(nic_kwargs or {})
 
         # Master node: gateway + storage + memcached (+ etcd, monitoring).
+        gw_kwargs = dict(gateway_kwargs or {})
+        gw_kwargs.setdefault("rng", self.rng.stream("gateway"))
         self.gateway = Gateway(
             self.env,
             self.network.add_node(MASTER),
             metrics=self.metrics,
-            **(gateway_kwargs or {}),
+            **gw_kwargs,
         )
         self.storage = ObjectStorage(self.env)
         self.memcached = MemcachedServer(
@@ -76,7 +82,8 @@ class Testbed:
                 self.etcd_cluster.names,
             )
         self.manager = WorkloadManager(
-            self.env, self.gateway, self.storage, etcd=etcd_client
+            self.env, self.gateway, self.storage, etcd=etcd_client,
+            metrics=self.metrics, **(manager_kwargs or {}),
         )
         # Figure 5's monitoring engine and watch service (optional).
         self.monitoring: Optional[MonitoringEngine] = None
@@ -86,6 +93,15 @@ class Testbed:
             self.watch = WatchService(self.env, self.gateway)
             self.monitoring.start()
             self.watch.start()
+        # Failover driver (health-checked routes + degradation).
+        self.health: Optional[HealthMonitor] = None
+        if with_failover:
+            self.health = HealthMonitor(
+                self.env, self.gateway, self.manager,
+                **(failover_kwargs or {}),
+            )
+            self.health.start()
+        self.injector: Optional[FaultInjector] = None
 
         # Worker substrates are created lazily per backend kind.
         self._host_servers: Dict[str, List[HostServer]] = {}
@@ -143,10 +159,35 @@ class Testbed:
             return self.add_lambda_nic_backend()
         raise ValueError(f"unknown backend kind {kind!r}")
 
+    # -- fault injection ---------------------------------------------------------
+
+    def add_fault_injector(self, plan: FaultPlan,
+                           start: bool = True) -> FaultInjector:
+        """Attach (and by default start) a fault injector for ``plan``."""
+        self.injector = FaultInjector(self.env, self, plan,
+                                      metrics=self.metrics)
+        if start:
+            self.injector.start()
+        return self.injector
+
     # -- accessors ---------------------------------------------------------------
 
     def host_servers(self, kind: str) -> List[HostServer]:
         return self._host_servers[kind]
+
+    def host_server(self, name: str) -> HostServer:
+        """Find one host worker by node name, across all backends."""
+        for servers in self._host_servers.values():
+            for server in servers:
+                if server.name == name:
+                    return server
+        raise KeyError(f"no host server {name!r}")
+
+    def nic(self, name: str) -> SmartNIC:
+        for nic in self._nics:
+            if nic.name == name:
+                return nic
+        raise KeyError(f"no SmartNIC {name!r}")
 
     @property
     def nics(self) -> List[SmartNIC]:

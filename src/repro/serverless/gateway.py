@@ -27,6 +27,7 @@ from ..net import (
 )
 from ..net.network import Node
 from ..sim import Environment, Resource
+from .breaker import STATE_VALUES, CircuitBreaker
 from .metrics import MetricsRegistry
 
 
@@ -75,6 +76,12 @@ class Gateway:
         rdma_segment_bytes: int = 4096,
         request_timeout: float = 5.0,
         max_retries: int = 1,
+        rng=None,
+        backoff_base: float = 0.02,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_reset_timeout: float = 1.0,
     ) -> None:
         self.env = env
         self.node = node
@@ -84,8 +91,17 @@ class Gateway:
         self.rdma_segment_bytes = rdma_segment_bytes
         self.request_timeout = request_timeout
         self.max_retries = max_retries
+        #: RNG for retry-backoff jitter; None means deterministic
+        #: full-length backoff (still reproducible either way).
+        self.rng = rng
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_timeout = breaker_reset_timeout
         self._proxy = Resource(env, capacity=proxy_concurrency)
         self._routes: Dict[str, Route] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._ids = itertools.count(1)
         self._pending: Dict[int, Any] = {}
         self.latency_histogram = self.metrics.histogram(
@@ -96,6 +112,26 @@ class Gateway:
         )
         self.failures_total = self.metrics.counter(
             "gateway_failures_total", "requests that exhausted retries"
+        )
+        self.retries_total = self.metrics.counter(
+            "gateway_retries_total", "individual retry attempts"
+        )
+        self.late_responses_total = self.metrics.counter(
+            "gateway_late_responses_total",
+            "responses that arrived after their waiter timed out",
+        )
+        self.probes_total = self.metrics.counter(
+            "gateway_probes_total", "health-probe requests sent"
+        )
+        self.probe_failures_total = self.metrics.counter(
+            "gateway_probe_failures_total", "health probes that timed out"
+        )
+        self.breaker_state = self.metrics.gauge(
+            "gateway_breaker_state",
+            "per-target breaker state (0 closed, 0.5 half-open, 1 open)",
+        )
+        self.breaker_transitions_total = self.metrics.counter(
+            "gateway_breaker_transitions_total", "breaker state changes"
         )
         node.attach(self._receive)
 
@@ -123,6 +159,94 @@ class Gateway:
     def workloads(self) -> List[str]:
         return sorted(self._routes)
 
+    # -- health / circuit breaking ----------------------------------------
+
+    def breaker_for(self, target: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``target``."""
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                target,
+                failure_threshold=self.breaker_threshold,
+                reset_timeout=self.breaker_reset_timeout,
+                on_transition=self._on_breaker_transition,
+            )
+            self._breakers[target] = breaker
+        return breaker
+
+    def _on_breaker_transition(self, target: str, old: str, new: str) -> None:
+        self.breaker_state.set(STATE_VALUES[new], labels={"target": target})
+        self.breaker_transitions_total.inc(
+            labels={"target": target, "to": new}
+        )
+
+    def ejected_targets(self) -> List[str]:
+        """Targets currently held out of rotation by their breaker."""
+        return sorted(
+            target for target, breaker in self._breakers.items()
+            if breaker.ejected
+        )
+
+    def _pick_target(self, route: Route) -> str:
+        """Round-robin over the route, skipping breaker-ejected targets.
+
+        When every target is ejected the gateway fails open and uses
+        the next one anyway: refusing to send at all would turn a full
+        outage into a livelock, and the attempt doubles as a probe.
+        """
+        now = self.env.now
+        first = None
+        for _ in range(len(route.targets)):
+            target = route.next_target()
+            if first is None:
+                first = target
+            breaker = self._breakers.get(target)
+            if breaker is None or breaker.allow(now):
+                return target
+        return first
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff (with jitter when an RNG is present)."""
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if self.rng is not None:
+            # Decorrelate retries: uniform over [delay/2, delay].
+            delay *= 0.5 + 0.5 * self.rng.random()
+        return delay
+
+    def probe_target(self, workload: str, target: str,
+                     timeout: Optional[float] = None):
+        """Process: one health-check request straight at ``target``.
+
+        Bypasses the breaker (probes are how OPEN targets get back in)
+        and the proxy queue; records the outcome against the target's
+        breaker and returns True on response.
+        """
+        return self.env.process(
+            self._probe(workload, target, timeout or self.request_timeout)
+        )
+
+    def _probe(self, workload: str, target: str, timeout: float):
+        route = self.route_for(workload)
+        request_id = next(self._ids)
+        waiter = self.env.event()
+        self._pending[request_id] = waiter
+        self.probes_total.inc(labels={"target": target})
+        self._send_request(route, target, request_id, None, 64)
+        outcome = yield self.env.any_of(
+            [waiter, self.env.timeout(timeout, value=None)]
+        )
+        response = waiter.value if waiter in outcome else None
+        self._pending.pop(request_id, None)
+        if response is not None:
+            self.breaker_for(target).record_success(self.env.now)
+            return True
+        self.probe_failures_total.inc(labels={"target": target})
+        self.breaker_for(target).record_failure(self.env.now)
+        return False
+
     # -- datapath -----------------------------------------------------------
 
     def _receive(self, packet: Packet) -> None:
@@ -130,8 +254,14 @@ class Gateway:
         if header is None or not header.is_response:
             return
         waiter = self._pending.pop(header.request_id, None)
-        if waiter is not None and not waiter.triggered:
-            waiter.succeed(packet)
+        if waiter is None or waiter.triggered:
+            # The waiter was already popped on timeout (or resolved):
+            # this response raced its retry and must not vanish
+            # silently — it is the signal that the backend is alive
+            # but slow, which the monitor wants to see.
+            self.late_responses_total.inc()
+            return
+        waiter.succeed(packet)
 
     def request(self, workload: str, payload: Any = None,
                 payload_bytes: Optional[int] = None):
@@ -144,12 +274,12 @@ class Gateway:
 
     def _request(self, workload: str, payload: Any,
                  payload_bytes: Optional[int]):
-        route = self.route_for(workload)
         size = payload_bytes if payload_bytes is not None else (
             len(payload) if isinstance(payload, (bytes, bytearray)) else 64
         )
         retries = 0
         start = None
+        route = self.route_for(workload)
         while True:
             request_id = next(self._ids)
             waiter = self.env.event()
@@ -158,7 +288,7 @@ class Gateway:
             with self._proxy.request() as slot:
                 yield slot
                 yield self.env.timeout(self.proxy_seconds)
-                target = route.next_target()
+                target = self._pick_target(route)
                 if start is None:
                     # Latency is measured from the moment the gateway
                     # sends the request (paper §6.3.1), not including
@@ -171,18 +301,32 @@ class Gateway:
             response = waiter.value if waiter in outcome else None
             self._pending.pop(request_id, None)
             if response is not None:
+                if target in self._breakers:
+                    self._breakers[target].record_success(self.env.now)
                 latency = self.env.now - start
                 self.latency_histogram.observe(
                     latency, labels={"workload": workload}
                 )
                 self.requests_total.inc(labels={"workload": workload})
                 return RequestOutcome(workload, latency, response, True, retries)
+            self.breaker_for(target).record_failure(self.env.now)
             retries += 1
+            self.retries_total.inc(labels={"workload": workload})
             if retries > self.max_retries:
                 self.failures_total.inc(labels={"workload": workload})
                 raise GatewayTimeout(
                     f"request to {workload!r} unanswered after {retries - 1} retries"
                 )
+            yield self.env.timeout(self._backoff_delay(retries))
+            # Re-read the route: a failover may have re-pointed the
+            # workload (new targets, new wid) while we were backing off.
+            try:
+                route = self.route_for(workload)
+            except KeyError:
+                self.failures_total.inc(labels={"workload": workload})
+                raise GatewayTimeout(
+                    f"workload {workload!r} was undeployed mid-request"
+                ) from None
 
     def _send_request(self, route: Route, target: str, request_id: int,
                       payload: Any, size: int) -> None:

@@ -27,6 +27,7 @@ def test_examples_directory_complete():
         "etcd_failover.py",
         "microc_lambda.py",
         "run_all_experiments.py",
+        "chaos_recovery.py",
     } <= present
 
 
@@ -60,3 +61,11 @@ def test_etcd_failover_runs(capsys):
     out = capsys.readouterr().out
     assert "new leader" in out
     assert "all good" in out
+
+
+def test_chaos_recovery_runs(capsys):
+    run_example("chaos_recovery.py")
+    out = capsys.readouterr().out
+    assert "degrade" in out
+    assert "availability 100.00%" in out
+    assert "came back home" in out

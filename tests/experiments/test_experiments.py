@@ -10,6 +10,7 @@ import pytest
 from repro.experiments import (
     ALL_EXPERIMENTS,
     FAST_CONFIG,
+    fault_recovery,
     fig6_latency,
     fig8_contention,
     fig9_optimizer,
@@ -24,7 +25,7 @@ from repro.experiments.calibration import PAPER_FIG9, PAPER_TABLE4
 def test_registry_covers_every_table_and_figure():
     assert set(ALL_EXPERIMENTS) == {
         "table1", "fig6", "fig7", "fig8", "table2", "table3", "table4",
-        "fig9", "reorder",
+        "fig9", "reorder", "fault_recovery",
     }
 
 
@@ -132,3 +133,15 @@ def test_experiments_deterministic_for_fixed_seed():
     first = fig6_latency.run_cell("web_server", "lambda-nic", FAST_CONFIG)
     second = fig6_latency.run_cell("web_server", "lambda-nic", FAST_CONFIG)
     assert first.samples == second.samples
+
+
+def test_fault_recovery_storm_shapes():
+    """CI-scale storm: every recovery path fires, availability holds."""
+    storm = fault_recovery.run_storm(seed=1, rate_rps=3.0)
+    for result in storm["during"].values():
+        assert fault_recovery.availability(result) >= 0.99
+    kinds = {event.kind for event in storm["events"]}
+    assert {"shrink", "degrade", "restore"} <= kinds
+    actions = {action for _, action, _ in storm["trace"]}
+    assert "crash_raft" in actions and "kill_nic" in actions
+    assert all(event.duration <= 2.0 for event in storm["events"])

@@ -1,0 +1,128 @@
+"""FaultInjector: every action dispatches to the right subsystem."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.serverless import Testbed
+
+
+def make_testbed(**kwargs):
+    tb = Testbed(seed=5, n_workers=2, **kwargs)
+    return tb
+
+
+def test_nic_and_island_faults_dispatch():
+    tb = make_testbed()
+    tb.add_lambda_nic_backend()
+    plan = (FaultPlan()
+            .kill_nic(1.0, "m2-nic")
+            .kill_island(2.0, "m3-nic", island=0)
+            .restore_island(3.0, "m3-nic", island=0)
+            .restore_nic(4.0, "m2-nic"))
+    tb.add_fault_injector(plan)
+
+    tb.run(until=1.5)
+    assert not tb.nic("m2-nic").online
+    assert not tb.nic("m2-nic").serving
+    tb.run(until=2.5)
+    island0 = tb.nic("m3-nic").islands[0]
+    assert all(not core.online for core in island0.cores.values())
+    assert tb.nic("m3-nic").serving  # other islands still up
+    tb.run(until=5.0)
+    assert tb.nic("m2-nic").online
+    assert all(core.online for core in island0.cores.values())
+    assert [(t, a) for t, a, _ in tb.injector.trace] == [
+        (1.0, "kill_nic"), (2.0, "kill_island"),
+        (3.0, "restore_island"), (4.0, "restore_nic"),
+    ]
+
+
+def test_server_crash_and_restart_dispatch():
+    tb = make_testbed()
+    tb.add_container_backend()
+    plan = (FaultPlan()
+            .crash_server(1.0, "m2-ctr")
+            .restart_server(2.0, "m2-ctr", reboot_seconds=0.5))
+    tb.add_fault_injector(plan)
+
+    tb.run(until=1.5)
+    server = tb.host_server("m2-ctr")
+    assert not server.online
+    assert server.stats.crashes == 1
+    tb.run(until=3.0)
+    assert server.online
+
+
+def test_link_and_partition_faults_dispatch():
+    tb = make_testbed()
+    plan = (FaultPlan()
+            .link_flap(1.0, "memcached", down_for=0.5)
+            .partition(2.0, ["m1"], ["memcached"])
+            .heal(3.0))
+    tb.add_fault_injector(plan)
+
+    tb.run(until=1.2)
+    assert not tb.network.link_up("memcached")
+    tb.run(until=1.8)
+    assert tb.network.link_up("memcached")
+    tb.run(until=2.5)
+    assert tb.network.switch.partitioned
+    tb.run(until=3.5)
+    assert not tb.network.switch.partitioned
+
+
+def test_raft_leader_resolved_at_fire_time():
+    tb = make_testbed(with_etcd=True)
+    plan = FaultPlan().crash_raft(5.0, "leader")
+    tb.add_fault_injector(plan)
+
+    tb.run(until=10.0)
+    assert len(tb.injector.trace) == 1
+    _, action, crashed = tb.injector.trace[0]
+    assert action == "crash_raft"
+    assert crashed in tb.etcd_cluster.names
+    assert not tb.etcd_cluster.nodes[crashed]._alive
+
+
+def test_raft_faults_skipped_without_cluster():
+    tb = make_testbed()  # no etcd
+    plan = FaultPlan().crash_raft(1.0, "leader").recover_raft(2.0, "etcd1")
+    tb.add_fault_injector(plan)
+    tb.run(until=3.0)
+    assert tb.injector.trace == []
+    assert [(a, t) for _, a, t in tb.injector.skipped] == [
+        ("crash_raft", "leader"), ("recover_raft", "etcd1"),
+    ]
+
+
+def test_injector_counts_faults_in_metrics():
+    tb = make_testbed()
+    tb.add_lambda_nic_backend()
+    plan = FaultPlan().kill_nic(1.0, "m2-nic").restore_nic(2.0, "m2-nic")
+    tb.add_fault_injector(plan)
+    tb.run(until=3.0)
+    counter = tb.injector.faults_injected_total
+    assert counter.value(labels={"action": "kill_nic"}) == 1
+    assert counter.value(labels={"action": "restore_nic"}) == 1
+
+
+def test_injector_cannot_start_twice():
+    tb = make_testbed()
+    injector = tb.add_fault_injector(FaultPlan())
+    with pytest.raises(RuntimeError):
+        injector.start()
+
+
+def test_same_plan_same_seed_identical_traces():
+    def run_once():
+        tb = make_testbed()
+        tb.add_lambda_nic_backend()
+        plan = (FaultPlan()
+                .kill_nic(1.0, "m2-nic")
+                .link_flap(1.5, "m3-nic", down_for=0.25)
+                .restore_nic(2.0, "m2-nic"))
+        tb.add_fault_injector(plan)
+        tb.run(until=5.0)
+        return tb.injector.trace
+
+    assert run_once() == run_once()

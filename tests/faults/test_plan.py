@@ -1,0 +1,67 @@
+"""FaultPlan: validation, ordering, determinism."""
+
+import pytest
+
+from repro.faults import ACTIONS, FaultEvent, FaultPlan
+
+
+def test_builder_chains_and_orders_by_time():
+    plan = (FaultPlan()
+            .kill_nic(10.0, "m3-nic")
+            .crash_server(2.0, "m2-ctr")
+            .restore_nic(20.0, "m3-nic"))
+    assert [e.action for e in plan] == \
+        ["crash_server", "kill_nic", "restore_nic"]
+    assert [e.at for e in plan] == [2.0, 10.0, 20.0]
+    assert len(plan) == 3
+    assert plan.horizon == 20.0
+
+
+def test_same_time_events_fire_in_insertion_order():
+    plan = (FaultPlan()
+            .restore_nic(5.0, "m2-nic")
+            .restore_nic(5.0, "m3-nic")
+            .kill_island(5.0, "m4-nic", island=1))
+    assert [e.target for e in plan] == ["m2-nic", "m3-nic", "m4-nic"]
+
+
+def test_link_flap_expands_to_down_then_up():
+    plan = FaultPlan().link_flap(3.0, "m2-nic", down_for=1.5)
+    events = plan.events
+    assert [(e.at, e.action) for e in events] == \
+        [(3.0, "link_down"), (4.5, "link_up")]
+
+
+def test_params_are_preserved_and_hashable():
+    plan = FaultPlan().kill_island(1.0, "m2-nic", island=2)
+    event = plan.events[0]
+    assert event.kwargs == {"island": 2}
+    assert isinstance(event, FaultEvent)
+    hash(event)  # frozen dataclass stays hashable
+
+
+def test_partition_builder_groups():
+    plan = FaultPlan().partition(4.0, ["m1", "m2"], ["m3"])
+    assert plan.events[0].kwargs["groups"] == (("m1", "m2"), ("m3",))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        FaultPlan().add(-1.0, "kill_nic", "m2-nic")
+    with pytest.raises(ValueError):
+        FaultPlan().add(1.0, "set_on_fire", "m2-nic")
+    with pytest.raises(ValueError):
+        FaultPlan().link_flap(1.0, "m2-nic", down_for=0.0)
+    with pytest.raises(ValueError):
+        FaultPlan().partition(1.0, ["m1", "m2"])  # needs >= 2 groups
+
+
+def test_every_documented_action_has_a_builder():
+    plan = (FaultPlan()
+            .kill_nic(1, "n").restore_nic(2, "n")
+            .kill_island(3, "n", island=0).restore_island(4, "n", island=0)
+            .crash_server(5, "s").restart_server(6, "s", reboot_seconds=2.0)
+            .link_down(7, "n").link_up(8, "n")
+            .partition(9, ["a"], ["b"]).heal(10)
+            .crash_raft(11).recover_raft(12, "etcd1"))
+    assert {e.action for e in plan} == set(ACTIONS)

@@ -1,0 +1,132 @@
+"""Network-layer fault paths: dead links, partitions, lossy-fabric guard."""
+
+import pytest
+
+from repro.net import HeaderStack, Link, Network, Packet, UDPHeader
+from repro.sim import Environment, RngRegistry
+
+
+def make_packet(src, dst, payload_bytes=100):
+    return Packet(src, dst, HeaderStack([UDPHeader()]),
+                  payload_bytes=payload_bytes)
+
+
+def make_network(env, **kwargs):
+    network = Network(env, **kwargs)
+    received = []
+    for name in ["a", "b", "c"]:
+        node = network.add_node(name)
+        node.attach(lambda p, name=name: received.append((name, p)))
+    return network, received
+
+
+def test_lossy_network_requires_rng():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Network(env, drop_probability=0.05)
+    with pytest.raises(ValueError):
+        Network(env, drop_probability=1.5,
+                rng=RngRegistry(seed=0).stream("n"))
+    # Explicit rng makes a lossy fabric legal.
+    Network(env, drop_probability=0.05, rng=RngRegistry(seed=0).stream("n"))
+
+
+def test_lossy_network_propagates_to_new_links():
+    env = Environment()
+    rng = RngRegistry(seed=2).stream("loss")
+    network = Network(env, drop_probability=0.5, rng=rng)
+    received = []
+    network.add_node("a").attach(lambda p: received.append(p))
+    network.add_node("b").attach(lambda p: received.append(p))
+    for _ in range(100):
+        network.send_from("a", make_packet("a", "b"))
+    env.run()
+    assert 0 < len(received) < 100  # drops on uplink and downlink
+
+
+def test_dead_link_drops_and_counts():
+    env = Environment()
+    network, received = make_network(env)
+    network.set_link_state("b", up=False)
+    assert not network.link_up("b")
+
+    network.send_from("a", make_packet("a", "b"))
+    network.send_from("a", make_packet("a", "c"))
+    env.run()
+    # b is unreachable, c unaffected.
+    assert [name for name, _ in received] == ["c"]
+    down_drops = network.link("b").stats("switch").packets_dropped_down
+    assert down_drops == 1
+
+    network.set_link_state("b", up=True)
+    network.send_from("a", make_packet("a", "b"))
+    env.run()
+    assert [name for name, _ in received] == ["c", "b"]
+
+
+def test_dead_uplink_drops_outbound_packets():
+    env = Environment()
+    network, received = make_network(env)
+    network.set_link_state("a", up=False)
+    network.send_from("a", make_packet("a", "b"))
+    env.run()
+    assert received == []
+    assert network.link_stats("a").packets_dropped_down == 1
+
+
+def test_partition_blocks_cross_group_traffic():
+    env = Environment()
+    network, received = make_network(env)
+    network.partition(["a", "b"], ["c"])
+    assert network.switch.partitioned
+
+    network.send_from("a", make_packet("a", "b"))  # same group: flows
+    network.send_from("a", make_packet("a", "c"))  # crosses: dropped
+    env.run()
+    assert [name for name, _ in received] == ["b"]
+    assert network.switch.stats.packets_dropped_partition == 1
+
+    network.heal_partition()
+    assert not network.switch.partitioned
+    network.send_from("a", make_packet("a", "c"))
+    env.run()
+    assert [name for name, _ in received] == ["b", "c"]
+
+
+def test_partition_unlisted_nodes_default_to_group_zero():
+    env = Environment()
+    network, received = make_network(env)
+    # 'a' is not listed: it lands in group 0 alongside its peers there.
+    network.partition(["b"], ["c"])
+    network.send_from("a", make_packet("a", "b"))
+    network.send_from("c", make_packet("c", "b"))
+    env.run()
+    assert [name for name, _ in received] == ["b"]
+
+
+def test_partition_requires_two_groups():
+    env = Environment()
+    network, _ = make_network(env)
+    with pytest.raises(ValueError):
+        network.partition(["a", "b"])
+
+
+def test_link_set_state_both_directions():
+    env = Environment()
+    arrivals = []
+    link = Link(env, "a", "b", bandwidth_bps=1e9, propagation_delay=0.0)
+    link.attach("a", lambda p: arrivals.append("a"))
+    link.attach("b", lambda p: arrivals.append("b"))
+    link.set_state(False)
+    assert not link.up
+    link.send("a", make_packet("a", "b", payload_bytes=992))
+    link.send("b", make_packet("b", "a", payload_bytes=992))
+    env.run()
+    assert arrivals == []
+    assert link.stats("a").packets_dropped_down == 1
+    assert link.stats("b").packets_dropped_down == 1
+    link.set_state(True)
+    assert link.up
+    link.send("a", make_packet("a", "b", payload_bytes=992))
+    env.run()
+    assert arrivals == ["b"]

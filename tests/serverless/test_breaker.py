@@ -1,0 +1,105 @@
+"""CircuitBreaker state machine unit tests."""
+
+from repro.serverless import CLOSED, CircuitBreaker, HALF_OPEN, OPEN
+from repro.serverless.breaker import STATE_VALUES
+
+
+def make(**kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout", 1.0)
+    return CircuitBreaker("m2-nic", **kwargs)
+
+
+def test_starts_closed_and_admits():
+    breaker = make()
+    assert breaker.state == CLOSED
+    assert not breaker.ejected
+    assert breaker.allow(now=0.0)
+
+
+def test_opens_after_consecutive_failures():
+    breaker = make()
+    breaker.record_failure(now=0.0)
+    breaker.record_failure(now=0.1)
+    assert breaker.state == CLOSED
+    breaker.record_failure(now=0.2)
+    assert breaker.state == OPEN
+    assert breaker.ejected
+    assert not breaker.allow(now=0.3)
+    assert breaker.opens == 1
+
+
+def test_success_resets_failure_streak():
+    breaker = make()
+    breaker.record_failure(now=0.0)
+    breaker.record_failure(now=0.1)
+    breaker.record_success(now=0.2)
+    breaker.record_failure(now=0.3)
+    breaker.record_failure(now=0.4)
+    assert breaker.state == CLOSED
+
+
+def test_half_open_admits_one_trial_after_cooldown():
+    breaker = make()
+    for i in range(3):
+        breaker.record_failure(now=i * 0.1)
+    assert not breaker.allow(now=0.5)     # still cooling down
+    assert breaker.allow(now=1.5)         # cool-down elapsed -> trial
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow(now=1.6)     # only one trial in flight
+
+
+def test_half_open_success_closes_and_resets_backoff():
+    breaker = make(backoff_factor=2.0)
+    for i in range(3):
+        breaker.record_failure(now=i * 0.1)
+    assert breaker.allow(now=1.5)
+    breaker.record_success(now=1.6)
+    assert breaker.state == CLOSED
+    assert not breaker.ejected
+    assert breaker.closes == 1
+    # Re-opening starts again from the base cool-down.
+    for i in range(3):
+        breaker.record_failure(now=2.0 + i * 0.1)
+    assert not breaker.allow(now=2.5)
+    assert breaker.allow(now=3.3)
+
+
+def test_half_open_failure_doubles_cooldown():
+    breaker = make(backoff_factor=2.0, reset_timeout=1.0)
+    for i in range(3):
+        breaker.record_failure(now=i * 0.1)
+    assert breaker.allow(now=1.5)         # trial at 1.5
+    breaker.record_failure(now=1.5)       # trial failed -> reopen, 2 s
+    assert breaker.state == OPEN
+    assert not breaker.allow(now=3.0)     # 1.5 s elapsed < 2 s
+    assert breaker.allow(now=3.6)
+
+
+def test_cooldown_is_capped():
+    breaker = make(backoff_factor=10.0, reset_timeout=1.0,
+                   max_reset_timeout=4.0)
+    for i in range(3):
+        breaker.record_failure(now=i * 0.1)
+    for round_no in range(4):  # repeated failed trials
+        trial_at = 100.0 * (round_no + 1)
+        assert breaker.allow(now=trial_at)
+        breaker.record_failure(now=trial_at)
+    # Last trial failed at t=400; cool-down is capped at 4 s, not 10^n.
+    assert not breaker.allow(now=403.9)
+    assert breaker.allow(now=404.1)
+
+
+def test_transition_callback_and_state_values():
+    seen = []
+    breaker = CircuitBreaker(
+        "t", failure_threshold=1,
+        on_transition=lambda target, old, new: seen.append(new),
+    )
+    breaker.record_failure(now=0.0)
+    assert breaker.allow(now=5.0)
+    breaker.record_success(now=5.1)
+    assert seen == [OPEN, HALF_OPEN, CLOSED]
+    assert STATE_VALUES[CLOSED] == 0.0
+    assert STATE_VALUES[OPEN] == 1.0
+    assert 0.0 < STATE_VALUES[HALF_OPEN] < 1.0

@@ -1,0 +1,175 @@
+"""End-to-end failover: shrink/expand, degrade, restore."""
+
+import pytest
+
+from repro.serverless import Testbed, closed_loop
+from repro.workloads import web_server_spec
+
+FAST_GATEWAY = {
+    "request_timeout": 0.05, "max_retries": 6,
+    "backoff_base": 0.005, "backoff_max": 0.05,
+    "breaker_reset_timeout": 0.25,
+}
+
+
+def make_testbed(n_workers=2, **kwargs):
+    kwargs.setdefault("gateway_kwargs", dict(FAST_GATEWAY))
+    kwargs.setdefault("failover_kwargs", {"check_interval": 0.1})
+    return Testbed(seed=8, n_workers=n_workers, with_failover=True, **kwargs)
+
+
+def run_scenario(tb, gen):
+    process = tb.env.process(gen(tb.env))
+    tb.run(until=process)
+    return process.value
+
+
+def test_monitor_shrinks_then_expands_route():
+    tb = make_testbed()
+    tb.add_lambda_nic_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        tb.nic("m2-nic").fail()
+        yield env.timeout(0.5)
+        assert tb.gateway.route_for(spec.name).targets == ["m3-nic"]
+
+        tb.nic("m2-nic").restore()
+        yield env.timeout(0.5)
+        assert set(tb.gateway.route_for(spec.name).targets) == \
+            {"m2-nic", "m3-nic"}
+
+        result = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                   n_requests=10)
+        return result
+
+    result = run_scenario(tb, scenario)
+    assert result.failures == 0
+    kinds = [event.kind for event in tb.health.events]
+    assert kinds == ["shrink", "expand"]
+    assert all(event.duration == 0.0 for event in tb.health.events)
+    assert tb.manager.failovers_total.value(
+        labels={"workload": spec.name, "kind": "shrink"}) == 1
+
+
+def test_degrade_to_fallback_and_restore_home():
+    tb = make_testbed(n_workers=1)
+    tb.add_lambda_nic_backend()
+    tb.add_bare_metal_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        yield tb.manager.prepare_standby(spec.name, "bare-metal")
+
+        tb.nic("m2-nic").fail()
+        yield env.timeout(1.0)
+        record = tb.manager.record(spec.name)
+        assert record.degraded
+        assert record.backend_kind == "bare-metal"
+        assert tb.gateway.route_for(spec.name).targets == ["m2-bm"]
+
+        # Requests flow on the fallback substrate.
+        degraded_load = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                          n_requests=10)
+        assert degraded_load.failures == 0
+
+        tb.nic("m2-nic").restore()
+        yield env.timeout(1.0)
+        record = tb.manager.record(spec.name)
+        assert not record.degraded
+        assert record.backend_kind == "lambda-nic"
+        assert tb.gateway.route_for(spec.name).targets == ["m2-nic"]
+
+        home_load = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                      n_requests=10)
+        assert home_load.failures == 0
+        # Back on the NIC: latency drops by orders of magnitude.
+        assert home_load.mean_latency < degraded_load.mean_latency / 10
+
+    run_scenario(tb, scenario)
+    kinds = [event.kind for event in tb.health.events]
+    assert "degrade" in kinds and "restore" in kinds
+    assert tb.manager.degraded_workloads.value() == 0
+    assert tb.manager.failover_seconds.count(labels={"kind": "degrade"}) == 1
+    # With a warm standby the degrade is a pure re-route: fast.
+    assert tb.health.mean_time_to_failover() < 0.5
+
+
+def test_cold_degrade_without_standby_still_works():
+    tb = make_testbed(n_workers=1)
+    tb.add_lambda_nic_backend()
+    tb.add_container_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        tb.nic("m2-nic").fail()
+        # Container cold start is ~30 s; give the failover time to run.
+        yield env.timeout(45.0)
+        record = tb.manager.record(spec.name)
+        assert record.degraded
+        assert record.backend_kind == "container"
+        result = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                   n_requests=5)
+        assert result.failures == 0
+
+    run_scenario(tb, scenario)
+    degrades = [e for e in tb.health.events if e.kind == "degrade"]
+    assert len(degrades) == 1
+    assert degrades[0].duration > 10.0  # the cold start dominates
+
+
+def test_no_fallback_keeps_probing_without_crashing():
+    tb = make_testbed(n_workers=1)
+    tb.add_lambda_nic_backend()  # no fallback backend registered
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        tb.nic("m2-nic").fail()
+        yield env.timeout(1.0)
+        record = tb.manager.record(spec.name)
+        assert not record.degraded  # nowhere to go
+        tb.nic("m2-nic").restore()
+        yield env.timeout(1.0)
+        result = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                   n_requests=5)
+        assert result.failures == 0
+
+    run_scenario(tb, scenario)
+    assert tb.health.errors == 0
+
+
+def test_undeploy_tears_down_standby_too():
+    tb = make_testbed(n_workers=1)
+    tb.add_lambda_nic_backend()
+    tb.add_bare_metal_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        yield tb.manager.prepare_standby(spec.name, "bare-metal")
+        yield tb.manager.undeploy(spec.name)
+
+    run_scenario(tb, scenario)
+    assert tb.manager.deployments == {}
+    with pytest.raises(KeyError):
+        tb.gateway.route_for(spec.name)
+    # The bare-metal server no longer hosts the standby.
+    server = tb.host_server("m2-bm")
+    assert spec.name not in server._deployments
+
+
+def test_standby_cannot_target_home_backend():
+    tb = make_testbed(n_workers=1)
+    tb.add_lambda_nic_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        with pytest.raises(ValueError):
+            yield tb.manager.prepare_standby(spec.name, "lambda-nic")
+
+    run_scenario(tb, scenario)
