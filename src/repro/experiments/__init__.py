@@ -7,6 +7,7 @@ from . import (
     fig8_contention,
     fig9_optimizer,
     micro_reorder,
+    perf,
     table1_nic_types,
     table3_resources,
     table4_startup,
@@ -31,6 +32,7 @@ ALL_EXPERIMENTS = {
     "fig9": fig9_optimizer.run,
     "reorder": micro_reorder.run,
     "fault_recovery": fault_recovery.run,
+    "perf": perf.run,
 }
 
 
@@ -55,6 +57,7 @@ __all__ = [
     "fig9_optimizer",
     "mib",
     "micro_reorder",
+    "perf",
     "run_all",
     "run_scenario",
     "table1_nic_types",

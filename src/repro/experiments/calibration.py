@@ -90,6 +90,12 @@ class ExperimentConfig:
     #: Requests in the Figure-8/Table-2 contention runs.
     contention_requests: int = 600
     contention_concurrency: int = 4
+    #: Direct engine executions per measurement in the perf benchmark
+    #: (reference vs fast-path interpreter comparison).
+    perf_requests: int = 400
+    #: End-to-end simulated requests in the perf benchmark's
+    #: events-per-second measurement.
+    perf_sim_requests: int = 300
 
 
 DEFAULT_CONFIG = ExperimentConfig()
@@ -102,4 +108,6 @@ FAST_CONFIG = ExperimentConfig(
     image_throughput_requests=6,
     contention_requests=120,
     contention_concurrency=4,
+    perf_requests=120,
+    perf_sim_requests=80,
 )

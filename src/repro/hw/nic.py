@@ -8,11 +8,13 @@ straight back out the wire without host involvement (paper §4/§5).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..compiler import Firmware
 from ..isa import (
+    FastInterpreter,
     Interpreter,
     Region,
     VERDICT_DROP,
@@ -32,6 +34,7 @@ from ..net import (
 from ..net.network import Node
 from ..sim import Environment
 from ..transport import ReorderBuffer
+from .memo import ExecutionMemoCache, make_key
 from .memory import NicMemory
 from .npu import Island, NPUCore
 from .scheduler import Scheduler, UniformRandomScheduler
@@ -82,6 +85,9 @@ class SmartNIC:
         host_handler: Optional[Callable[[Packet], None]] = None,
         rng=None,
         firmware_swap_seconds: float = 2.0,
+        use_fast_path: bool = True,
+        enable_memo: bool = True,
+        memo_entries: int = 1024,
     ) -> None:
         if scheduler is None:
             if rng is None:
@@ -96,7 +102,22 @@ class SmartNIC:
         self.firmware_swap_seconds = firmware_swap_seconds
         self.memory = NicMemory()
         self.stats = NicStats()
+        #: Reference interpreter — kept as the executable specification
+        #: (and the engine when ``use_fast_path=False``).
         self.interpreter = Interpreter(clock_hz=clock_hz)
+        self.use_fast_path = use_fast_path
+        #: Pre-decoded threaded-code engine; cycle- and result-identical
+        #: to ``interpreter`` (proved by tests/isa/test_fastpath.py).
+        self.engine = (
+            FastInterpreter(clock_hz=clock_hz) if use_fast_path
+            else self.interpreter
+        )
+        #: Result memoization is only sound with the fast path, which
+        #: reports whether an execution wrote persistent memory.
+        self.memo: Optional[ExecutionMemoCache] = (
+            ExecutionMemoCache(memo_entries)
+            if (use_fast_path and enable_memo) else None
+        )
 
         self.islands: List[Island] = []
         self.cores: List[NPUCore] = []
@@ -175,6 +196,8 @@ class SmartNIC:
             obj.name: bytearray(obj.size_bytes)
             for obj in program.objects.values()
         }
+        if self.memo is not None:
+            self.memo.invalidate()
 
     def bind_rdma(self, qp: int, lambda_name: str, object_name: str,
                   buffer_pool: int = 1) -> None:
@@ -195,8 +218,15 @@ class SmartNIC:
         self._rdma_bindings[qp] = (lambda_name, object_name)
 
     def lambda_memory(self, object_name: str) -> bytearray:
-        """Direct access to a persistent object (tests/inspection)."""
-        return self._lambda_memory[object_name]
+        """Direct access to a persistent object (tests/inspection).
+
+        The returned bytearray is mutable, so this counts as a
+        potential write for the memo cache.
+        """
+        data = self._lambda_memory[object_name]
+        if self.memo is not None:
+            self.memo.invalidate()
+        return data
 
     @property
     def busy_threads(self) -> int:
@@ -283,6 +313,53 @@ class SmartNIC:
             return
         self.env.process(self._serve(packet))
 
+    def _execute(self, packet: Packet, headers: Dict[str, Dict[str, Any]],
+                 meta: Dict[str, Any]):
+        """Run the firmware against one parsed request.
+
+        Uses the pre-decoded fast-path engine, consulting the execution
+        memo cache first: a pure execution of a byte-identical request
+        is replayed instead of re-interpreted. The key is computed from
+        the *pre-execution* inputs (the lambda mutates ``headers`` and
+        ``meta`` in place) and any execution that writes persistent
+        memory flushes the cache, so stateful lambdas never replay
+        stale results.
+        """
+        program = self.firmware.program
+        if not self.use_fast_path:
+            return self.interpreter.run(
+                program, headers=headers, meta=meta,
+                memory=self._lambda_memory,
+            )
+        memo = self.memo
+        key = None
+        if memo is not None:
+            key = make_key(program, program.entry, headers, meta,
+                           self._payload_digest(packet))
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        result, wrote_memory = self.engine.execute(
+            program, headers=headers, meta=meta,
+            memory=self._lambda_memory,
+        )
+        if memo is not None:
+            if wrote_memory:
+                memo.invalidate()
+            else:
+                memo.put(key, result)
+        return result
+
+    @staticmethod
+    def _payload_digest(packet: Packet) -> Any:
+        payload = packet.payload
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            return (hashlib.sha256(bytes(payload)).digest(),
+                    packet.payload_bytes)
+        # Synthetic payloads with no byte representation: fold their
+        # repr in; non-reprable objects make the request uncacheable.
+        return (repr(payload), packet.payload_bytes)
+
     def _serve(self, packet: Packet, extra_meta: Optional[Dict[str, Any]] = None,
                extra_cycles: int = 0):
         arrival = self.env.now
@@ -302,12 +379,7 @@ class SmartNIC:
         if lambda_header is not None:
             lambda_name = self._wid_to_lambda.get(lambda_header.get("wid"))
 
-        result = self.interpreter.run(
-            self.firmware.program,
-            headers=headers,
-            meta=meta,
-            memory=self._lambda_memory,
-        )
+        result = self._execute(packet, headers, meta)
         cycles = result.cycles + PIPELINE_OVERHEAD_CYCLES + extra_cycles
 
         cores = self.available_cores
@@ -416,6 +488,10 @@ class SmartNIC:
             return
         lambda_name, object_name = binding
         target = self._lambda_memory[object_name]
+        # The DMA below writes persistent memory behind the engine's
+        # back; cached results may depend on the old contents.
+        if self.memo is not None:
+            self.memo.invalidate()
         offset = 0
         total_len = 0
         for segment in ordered:

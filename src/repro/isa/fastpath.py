@@ -1,0 +1,913 @@
+"""Pre-decoded fast execution engine for lambda programs.
+
+The reference :class:`~repro.isa.interpreter.Interpreter` re-decodes
+every instruction on every execution: a ~100-branch if/elif chain plus
+per-operand ``isinstance`` dispatch. At paper scale (millions of
+requests through the simulated NIC) that decode overhead, not the model,
+dominates wall-clock time.
+
+This module compiles a :class:`~repro.isa.program.LambdaProgram` once
+into a flat table of per-instruction closures — classic threaded code:
+
+* every function body is flattened into one global code array (labels
+  resolved to indices, an implicit-return slot appended per function);
+* every operand is resolved at compile time into a direct register /
+  immediate / header / metadata accessor, so the hot loop never asks
+  "what kind of operand is this?";
+* cycle costs (base + memory-region access charges) are folded into
+  per-closure constants.
+
+The engine is **cycle-exact and verdict-identical** to the reference
+interpreter by construction: each closure replicates the reference
+semantics — including evaluation order, error messages, region-access
+accounting, and the step limit — and the differential test suite
+(``tests/isa/test_fastpath.py``) proves it on every registered workload.
+The reference interpreter remains the executable specification.
+
+Compiled code additionally tracks whether an execution wrote persistent
+memory (``STORE``/``STORED``/``MEMCPY``/memory-writing intrinsics); the
+NIC's execution memo cache uses that signal for invalidation.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .instructions import (
+    BASE_CYCLES,
+    Instruction,
+    Op,
+    REGION_ACCESS_CYCLES,
+    is_register,
+)
+from .interpreter import (
+    BULK_BURST_BYTES,
+    DEFAULT_STEP_LIMIT,
+    EmittedPacket,
+    ExecutionError,
+    ExecutionResult,
+    Machine,
+    VERDICT_DROP,
+    VERDICT_FALLTHROUGH,
+    VERDICT_FORWARD,
+    VERDICT_TO_HOST,
+    _INTRINSICS,
+    intrinsic_writes_memory,
+)
+from .program import LambdaProgram
+
+#: Sentinel returned by a step closure to stop the dispatch loop.
+_STOP = -1
+
+#: A step closure: mutates the state, returns the next code index.
+StepFn = Callable[["FastState"], int]
+
+
+class FastState(Machine):
+    """Machine state plus the accounting the reference loop kept in
+    local variables.
+
+    Subclassing :class:`Machine` keeps intrinsics working unchanged —
+    they receive this state object and use the same ``read`` /
+    ``memory`` / ``meta`` API as under the reference interpreter.
+    """
+
+    def __init__(
+        self,
+        program: LambdaProgram,
+        headers: Optional[Dict[str, Dict[str, Any]]],
+        meta: Optional[Dict[str, Any]],
+        memory: Optional[Dict[str, bytearray]],
+        step_limit: int,
+    ) -> None:
+        super().__init__(program, headers, meta, memory)
+        self.cycles = 0
+        self.executed = 0
+        self.region_accesses: Dict[Any, int] = {}
+        self.verdict = VERDICT_FALLTHROUGH
+        self.return_value: Any = None
+        self.stack: List[int] = []
+        self.step_limit = step_limit
+        #: Set by store/memcpy/memory-writing-intrinsic closures; the
+        #: memo cache treats such executions as invalidation points.
+        self.wrote_memory = False
+
+
+def _raise_step_limit(st: FastState) -> None:
+    raise ExecutionError(
+        f"step limit {st.step_limit} exceeded in "
+        f"{st.program.name!r} (runaway lambda?)"
+    )
+
+
+# -- operand pre-resolution --------------------------------------------------
+
+
+def _compile_reader(operand: Any) -> Callable[[FastState], Any]:
+    """Resolve an operand into a direct accessor closure.
+
+    Mirrors :meth:`Machine.read` — including its dispatch order and its
+    error behaviour for unreadable operands, which is deferred to
+    execution time so compiled programs fail exactly like interpreted
+    ones.
+    """
+    if is_register(operand):
+        def read_reg(st: FastState, _n: str = operand) -> Any:
+            return st.registers[_n]
+        return read_reg
+    if isinstance(operand, (int, float)):
+        def read_imm(st: FastState, _v: Any = operand) -> Any:
+            return _v
+        return read_imm
+    if isinstance(operand, str):
+        # Non-register strings are literal values (route names etc.).
+        def read_lit(st: FastState, _v: str = operand) -> Any:
+            return _v
+        return read_lit
+    if isinstance(operand, tuple):
+        kind = operand[0]
+        if kind == "hdr":
+            _header, _field = operand[1], operand[2]
+
+            def read_hdr(st: FastState) -> Any:
+                try:
+                    return st.headers[_header][_field]
+                except KeyError:
+                    raise ExecutionError(
+                        f"header field {_header}.{_field} not present"
+                    ) from None
+            return read_hdr
+        if kind == "meta":
+            _key = operand[1]
+
+            def read_meta(st: FastState) -> Any:
+                return st.meta.get(_key, 0)
+            return read_meta
+
+    def read_bad(st: FastState, _o: Any = operand) -> Any:
+        raise ExecutionError(f"cannot read operand {_o!r}")
+    return read_bad
+
+
+def _compile_writer(operand: Any) -> Callable[[FastState, Any], None]:
+    """Resolve a destination operand (must be a register) once."""
+    if is_register(operand):
+        def write_reg(st: FastState, value: Any, _n: str = operand) -> None:
+            st.registers[_n] = value
+        return write_reg
+
+    def write_bad(st: FastState, value: Any, _o: Any = operand) -> None:
+        raise ExecutionError(f"destination {_o!r} is not a register")
+    return write_bad
+
+
+def _operand_const(operand: Any) -> Tuple[bool, Any]:
+    """(is_plain_constant, value) — for ALU/branch specialisation."""
+    if is_register(operand):
+        return False, None
+    if isinstance(operand, (int, float)) or (
+        isinstance(operand, str) and not is_register(operand)
+    ):
+        return True, operand
+    return False, None
+
+
+_ALU_FNS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: a << b,
+    Op.SHR: lambda a, b: a >> b,
+    Op.MIN: lambda a, b: min(a, b),
+    Op.MAX: lambda a, b: max(a, b),
+}
+
+_BRANCH_FNS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}
+
+
+def program_signature(program: LambdaProgram) -> Tuple:
+    """Cheap structural fingerprint used to detect stale compilations.
+
+    Catches the mutations that actually occur in this codebase —
+    optimisation passes changing function bodies and memory
+    stratification moving objects between regions. (In-place
+    same-length instruction surgery is not detected; recompile
+    explicitly after such edits.)
+    """
+    return (
+        tuple((name, len(fn.body)) for name, fn in program.functions.items()),
+        tuple((name, obj.region) for name, obj in program.objects.items()),
+        program.entry,
+    )
+
+
+class CompiledProgram:
+    """A lambda program pre-decoded into a flat closure table."""
+
+    def __init__(self, program: LambdaProgram) -> None:
+        self.program = program
+        self.signature = program_signature(program)
+        self.code: List[StepFn] = []
+        #: Function name -> index of its first slot in ``code``.
+        self.offsets: Dict[str, int] = {}
+        self._compile()
+
+    # -- layout ------------------------------------------------------------
+
+    def entry_offset(self, name: str) -> int:
+        try:
+            return self.offsets[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.program.name!r} has no function {name!r}"
+            ) from None
+
+    def _compile(self) -> None:
+        program = self.program
+        # Pass 1: lay out every function (real instructions + one
+        # implicit-return slot each) so calls resolve to constants.
+        base = 0
+        for name, fn in program.functions.items():
+            self.offsets[name] = base
+            base += sum(
+                1 for instruction in fn.body if instruction.op is not Op.LABEL
+            ) + 1
+        # Pass 2: compile bodies.
+        for name, fn in program.functions.items():
+            self._compile_function(fn, self.offsets[name])
+
+    def _compile_function(self, fn, base: int) -> None:
+        body = fn.body
+        labels = fn.labels()
+        # Map every body position (plus the one-past-the-end position)
+        # to its global slot; labels collapse onto the next real slot.
+        global_of: List[int] = []
+        slot = base
+        for instruction in body:
+            global_of.append(slot)
+            if instruction.op is not Op.LABEL:
+                slot += 1
+        global_of.append(slot)  # implicit return slot
+
+        code = self.code
+        for index, instruction in enumerate(body):
+            if instruction.op is Op.LABEL:
+                continue
+            code.append(
+                self._compile_instruction(
+                    instruction,
+                    nxt=global_of[index + 1],
+                    labels={
+                        label: global_of[target]
+                        for label, target in labels.items()
+                    },
+                )
+            )
+        # The reference loop checks the step limit before every body
+        # position, labels included. A function ending in a label
+        # therefore checks once more before falling off the end; one
+        # ending in a real instruction does not.
+        if body and body[-1].op is Op.LABEL:
+            code.append(_checked_implicit_return)
+        else:
+            code.append(_implicit_return)
+        assert len(code) == slot + 1
+
+    # -- per-instruction compilation --------------------------------------
+
+    def _compile_instruction(
+        self, instruction: Instruction, nxt: int, labels: Dict[str, int]
+    ) -> StepFn:
+        op = instruction.op
+        args = instruction.args
+        base = BASE_CYCLES[op]
+        program = self.program
+
+        if op in _ALU_FNS:
+            return _compile_alu(op, args, base, nxt)
+        if op is Op.MOV:
+            return _compile_mov(args, base, nxt)
+        if op is Op.JMP:
+            return _compile_jmp(args, labels, base, nxt)
+        if op in _BRANCH_FNS:
+            return _compile_branch(op, args, labels, base, nxt)
+        if op is Op.CALL:
+            return self._compile_call(args, base, nxt)
+        if op is Op.RET:
+            return _compile_ret(args, base)
+        if op is Op.HALT:
+            def halt(st: FastState) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                return _STOP
+            return halt
+        if op is Op.NOP:
+            def nop(st: FastState) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                return nxt
+            return nop
+        if op is Op.RESOLVE:
+            return _compile_resolve(args, base, nxt)
+        if op in (Op.LOAD, Op.LOADD):
+            return _compile_load(program, args, base, nxt)
+        if op in (Op.STORE, Op.STORED):
+            return _compile_store(program, op, args, base, nxt)
+        if op is Op.MEMCPY:
+            return _compile_memcpy(program, args, base, nxt)
+        if op is Op.HLOAD:
+            return _compile_hload(args, base, nxt)
+        if op is Op.HSTORE:
+            return _compile_hstore(args, base, nxt)
+        if op is Op.MLOAD:
+            return _compile_mload(args, base, nxt)
+        if op is Op.MSTORE:
+            return _compile_mstore(args, base, nxt)
+        if op is Op.EMIT:
+            def emit(st: FastState) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                st.emitted.append(
+                    EmittedPacket(
+                        headers={
+                            k: dict(v) for k, v in st.headers.items()
+                        },
+                        meta=dict(st.meta),
+                        payload=st.response_payload,
+                    )
+                )
+                return nxt
+            return emit
+        if op in (Op.FORWARD, Op.DROP, Op.TO_HOST):
+            verdict = {
+                Op.FORWARD: VERDICT_FORWARD,
+                Op.DROP: VERDICT_DROP,
+                Op.TO_HOST: VERDICT_TO_HOST,
+            }[op]
+
+            def packet_verdict(st: FastState) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                st.verdict = verdict
+                return _STOP
+            return packet_verdict
+        if op in (Op.HASH, Op.CRC):
+            return _compile_hash(op, args, base, nxt)
+        if op is Op.INTRINSIC:
+            return _compile_intrinsic(args, base, nxt)
+
+        def unhandled(st: FastState, _op: Op = op) -> int:
+            raise ExecutionError(f"unhandled opcode {_op!r}")
+        return unhandled  # pragma: no cover - every op is handled above
+
+    def _compile_call(self, args: Tuple[Any, ...], base: int, nxt: int) -> StepFn:
+        callee = args[0]
+        target = self.offsets.get(callee)
+        if target is None:
+            program_name = self.program.name
+
+            def call_missing(st: FastState) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                raise KeyError(
+                    f"{program_name!r} has no function {callee!r}"
+                )
+            return call_missing
+
+        def call(st: FastState) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            st.stack.append(nxt)
+            return target
+        return call
+
+
+def _implicit_return(st: FastState) -> int:
+    """Fell off the end of a function: free return (no cycles/steps)."""
+    stack = st.stack
+    if stack:
+        return stack.pop()
+    return _STOP
+
+
+def _checked_implicit_return(st: FastState) -> int:
+    """Implicit return reached through a trailing label.
+
+    The reference interpreter tests the step limit at the label before
+    discovering the function end, so this slot must do the same.
+    """
+    if st.executed >= st.step_limit:
+        _raise_step_limit(st)
+    stack = st.stack
+    if stack:
+        return stack.pop()
+    return _STOP
+
+
+def _compile_alu(op: Op, args: Tuple[Any, ...], base: int, nxt: int) -> StepFn:
+    fn = _ALU_FNS[op]
+    dst = args[0]
+    a, b = args[1], (args[2] if len(args) > 2 else None)
+    a_const, a_value = _operand_const(a)
+    b_const, b_value = _operand_const(b) if len(args) > 2 else (True, None)
+    # Specialise the overwhelmingly common register-destination forms:
+    # the straight-line padding in every workload is reg op reg/imm.
+    if is_register(dst):
+        if not a_const and is_register(a) and b_const:
+            def alu_rc(st: FastState, _d=dst, _a=a, _b=b_value) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                registers = st.registers
+                registers[_d] = fn(registers[_a], _b)
+                return nxt
+            return alu_rc
+        if not a_const and is_register(a) and not b_const and is_register(b):
+            def alu_rr(st: FastState, _d=dst, _a=a, _b=b) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                registers = st.registers
+                registers[_d] = fn(registers[_a], registers[_b])
+                return nxt
+            return alu_rr
+    read_a = _compile_reader(a)
+    read_b = _compile_reader(b) if len(args) > 2 else (lambda st: None)
+    write = _compile_writer(dst)
+
+    def alu(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        write(st, fn(read_a(st), read_b(st)))
+        return nxt
+    return alu
+
+
+def _compile_mov(args: Tuple[Any, ...], base: int, nxt: int) -> StepFn:
+    dst, src = args[0], args[1]
+    if is_register(dst):
+        if is_register(src):
+            def mov_rr(st: FastState, _d=dst, _s=src) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                registers = st.registers
+                registers[_d] = registers[_s]
+                return nxt
+            return mov_rr
+        const, value = _operand_const(src)
+        if const:
+            def mov_rc(st: FastState, _d=dst, _v=value) -> int:
+                if st.executed >= st.step_limit:
+                    _raise_step_limit(st)
+                st.executed += 1
+                st.cycles += base
+                st.registers[_d] = _v
+                return nxt
+            return mov_rc
+    read = _compile_reader(src)
+    write = _compile_writer(dst)
+
+    def mov(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        write(st, read(st))
+        return nxt
+    return mov
+
+
+def _compile_jmp(args, labels: Dict[str, int], base: int, nxt: int) -> StepFn:
+    label = args[0]
+    target = labels.get(label)
+    if target is None:
+        def jmp_missing(st: FastState) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            raise KeyError(label)
+        return jmp_missing
+
+    def jmp(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        return target
+    return jmp
+
+
+def _compile_branch(op: Op, args, labels: Dict[str, int],
+                    base: int, nxt: int) -> StepFn:
+    fn = _BRANCH_FNS[op]
+    a, b, label = args[0], args[1], args[2]
+    target = labels.get(label)
+    if target is None:
+        read_a = _compile_reader(a)
+        read_b = _compile_reader(b)
+
+        def branch_missing(st: FastState) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            if fn(read_a(st), read_b(st)):
+                raise KeyError(label)
+            return nxt
+        return branch_missing
+    a_const, a_value = _operand_const(a)
+    b_const, b_value = _operand_const(b)
+    # The routing if-chains compiled from URL/key maps are reg-vs-imm.
+    if not a_const and is_register(a) and b_const:
+        def branch_rc(st: FastState, _a=a, _b=b_value) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            if fn(st.registers[_a], _b):
+                return target
+            return nxt
+        return branch_rc
+    read_a = _compile_reader(a)
+    read_b = _compile_reader(b)
+
+    def branch(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        if fn(read_a(st), read_b(st)):
+            return target
+        return nxt
+    return branch
+
+
+def _compile_ret(args: Tuple[Any, ...], base: int) -> StepFn:
+    if args:
+        read = _compile_reader(args[0])
+
+        def ret_value(st: FastState) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            value = read(st)
+            st.return_value = value
+            st.registers["r0"] = value
+            stack = st.stack
+            if stack:
+                return stack.pop()
+            return _STOP
+        return ret_value
+
+    def ret(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        stack = st.stack
+        if stack:
+            return stack.pop()
+        return _STOP
+    return ret
+
+
+def _compile_resolve(args: Tuple[Any, ...], base: int, nxt: int) -> StepFn:
+    _, obj, offset = args[1]
+    read_offset = _compile_reader(offset)
+    write = _compile_writer(args[0])
+
+    def resolve(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        write(st, ("addr", obj, read_offset(st)))
+        return nxt
+    return resolve
+
+
+def _region_of(program: LambdaProgram, obj: str):
+    """Compile-time region lookup; defers unknown objects to runtime."""
+    if obj in program.objects:
+        return program.objects[obj].region
+    return None
+
+
+def _compile_load(program: LambdaProgram, args, base: int, nxt: int) -> StepFn:
+    _, obj, offset = args[-1]
+    read_offset = _compile_reader(offset)
+    write = _compile_writer(args[0])
+    region = _region_of(program, obj)
+    if region is None:
+        program_name = program.name
+
+        def load_foreign(st: FastState) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            read_offset(st)
+            # The reference charges the access only after resolving the
+            # object's region, which raises for undeclared objects.
+            raise KeyError(f"{program_name!r} has no object {obj!r}")
+        return load_foreign
+    access = REGION_ACCESS_CYCLES[region]
+    total = base + access
+
+    def load(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        offset_value = read_offset(st)
+        accesses = st.region_accesses
+        accesses[region] = accesses.get(region, 0) + 1
+        st.cycles += total
+        write(st, st.load_word(obj, offset_value))
+        return nxt
+    return load
+
+
+def _compile_store(program: LambdaProgram, op: Op, args,
+                   base: int, nxt: int) -> StepFn:
+    memref = args[-2] if op is Op.STORE else args[0]
+    _, obj, offset = memref
+    read_offset = _compile_reader(offset)
+    read_value = _compile_reader(args[-1])
+    region = _region_of(program, obj)
+    if region is None:
+        program_name = program.name
+
+        def store_foreign(st: FastState) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            read_offset(st)
+            raise KeyError(f"{program_name!r} has no object {obj!r}")
+        return store_foreign
+    access = REGION_ACCESS_CYCLES[region]
+    total = base + access
+
+    def store(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        offset_value = read_offset(st)
+        accesses = st.region_accesses
+        accesses[region] = accesses.get(region, 0) + 1
+        st.cycles += total
+        st.store_word(obj, offset_value, read_value(st))
+        st.wrote_memory = True
+        return nxt
+    return store
+
+
+def _compile_memcpy(program: LambdaProgram, args, base: int, nxt: int) -> StepFn:
+    dst_ref, src_ref, length = args
+    _, dst_obj, dst_off = dst_ref
+    _, src_obj, src_off = src_ref
+    read_length = _compile_reader(length)
+    read_dst_off = _compile_reader(dst_off)
+    read_src_off = _compile_reader(src_off)
+    src_region = _region_of(program, src_obj)
+    dst_region = _region_of(program, dst_obj)
+    program_name = program.name
+    ceil = math.ceil
+
+    def memcpy(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        n = read_length(st)
+        dst_off_v = read_dst_off(st)
+        src_off_v = read_src_off(st)
+        bursts = max(1, ceil(n / BULK_BURST_BYTES))
+        if src_region is None:
+            raise KeyError(f"{program_name!r} has no object {src_obj!r}")
+        accesses = st.region_accesses
+        accesses[src_region] = accesses.get(src_region, 0) + bursts
+        st.cycles += REGION_ACCESS_CYCLES[src_region] * bursts
+        if dst_region is None:
+            raise KeyError(f"{program_name!r} has no object {dst_obj!r}")
+        accesses[dst_region] = accesses.get(dst_region, 0) + bursts
+        st.cycles += REGION_ACCESS_CYCLES[dst_region] * bursts
+        src_bytes = st._object_bytes(src_obj)
+        dst_bytes = st._object_bytes(dst_obj)
+        if src_off_v + n > len(src_bytes) or dst_off_v + n > len(dst_bytes):
+            raise ExecutionError("memcpy out of bounds")
+        dst_bytes[dst_off_v:dst_off_v + n] = src_bytes[src_off_v:src_off_v + n]
+        st.wrote_memory = True
+        return nxt
+    return memcpy
+
+
+def _compile_hload(args, base: int, nxt: int) -> StepFn:
+    _, header, field_name = args[1]
+    write = _compile_writer(args[0])
+
+    def hload(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        try:
+            value = st.headers[header][field_name]
+        except KeyError:
+            raise ExecutionError(
+                f"header field {header}.{field_name} not present"
+            ) from None
+        write(st, value)
+        return nxt
+    return hload
+
+
+def _compile_hstore(args, base: int, nxt: int) -> StepFn:
+    _, header, field_name = args[0]
+    read = _compile_reader(args[1])
+
+    def hstore(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        st.headers.setdefault(header, {})[field_name] = read(st)
+        return nxt
+    return hstore
+
+
+def _compile_mload(args, base: int, nxt: int) -> StepFn:
+    key = args[1][1]
+    dst = args[0]
+    if is_register(dst):
+        def mload_reg(st: FastState, _d=dst) -> int:
+            if st.executed >= st.step_limit:
+                _raise_step_limit(st)
+            st.executed += 1
+            st.cycles += base
+            st.registers[_d] = st.meta.get(key, 0)
+            return nxt
+        return mload_reg
+    write = _compile_writer(dst)
+
+    def mload(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        write(st, st.meta.get(key, 0))
+        return nxt
+    return mload
+
+
+def _compile_mstore(args, base: int, nxt: int) -> StepFn:
+    key = args[0][1]
+    read = _compile_reader(args[1])
+
+    def mstore(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        st.meta[key] = read(st)
+        return nxt
+    return mstore
+
+
+def _compile_hash(op: Op, args, base: int, nxt: int) -> StepFn:
+    opcode_value = op.value
+    read = _compile_reader(args[1])
+    write = _compile_writer(args[0])
+
+    def hash_op(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        write(st, hash((opcode_value, read(st))) & 0xFFFFFFFF)
+        return nxt
+    return hash_op
+
+
+def _compile_intrinsic(args, base: int, nxt: int) -> StepFn:
+    name = args[0]
+    rest = args[1:]
+
+    def intrinsic(st: FastState) -> int:
+        if st.executed >= st.step_limit:
+            _raise_step_limit(st)
+        st.executed += 1
+        st.cycles += base
+        fn = _INTRINSICS.get(name)
+        if fn is None:
+            raise ExecutionError(f"unknown intrinsic {name!r}")
+        st.cycles += fn(st, rest)
+        if intrinsic_writes_memory(name):
+            st.wrote_memory = True
+        return nxt
+    return intrinsic
+
+
+# -- the engine --------------------------------------------------------------
+
+
+def compile_program(program: LambdaProgram) -> CompiledProgram:
+    """Pre-decode ``program`` into a threaded-code closure table."""
+    return CompiledProgram(program)
+
+
+class FastInterpreter:
+    """Drop-in replacement for :class:`Interpreter` using pre-decoded
+    threaded code.
+
+    Compilations are cached per program (weakly keyed, so discarded
+    programs free their code tables) and guarded by a structural
+    signature: optimiser passes or memory stratification that change a
+    program after compilation trigger a transparent recompile.
+    """
+
+    def __init__(self, clock_hz: float = 633e6,
+                 step_limit: int = DEFAULT_STEP_LIMIT) -> None:
+        self.clock_hz = clock_hz
+        self.step_limit = step_limit
+        self._compiled: "weakref.WeakKeyDictionary[LambdaProgram, CompiledProgram]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def compiled_for(self, program: LambdaProgram) -> CompiledProgram:
+        """The cached compilation of ``program`` (recompiled if stale)."""
+        compiled = self._compiled.get(program)
+        if compiled is None or compiled.signature != program_signature(program):
+            compiled = CompiledProgram(program)
+            self._compiled[program] = compiled
+        return compiled
+
+    def execute(
+        self,
+        program: LambdaProgram,
+        headers: Optional[Dict[str, Dict[str, Any]]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        memory: Optional[Dict[str, bytearray]] = None,
+        entry: Optional[str] = None,
+    ) -> Tuple[ExecutionResult, bool]:
+        """Run to completion; returns (result, wrote_persistent_memory)."""
+        compiled = self.compiled_for(program)
+        st = FastState(program, headers, meta, memory, self.step_limit)
+        code = compiled.code
+        pc = compiled.entry_offset(entry or program.entry)
+        while pc >= 0:
+            pc = code[pc](st)
+        result = ExecutionResult(
+            verdict=st.verdict,
+            return_value=st.return_value,
+            cycles=st.cycles,
+            instructions_executed=st.executed,
+            region_accesses=st.region_accesses,
+            emitted=st.emitted,
+            headers=st.headers,
+            meta=st.meta,
+            response_payload=st.response_payload,
+        )
+        return result, st.wrote_memory
+
+    def run(
+        self,
+        program: LambdaProgram,
+        headers: Optional[Dict[str, Dict[str, Any]]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        memory: Optional[Dict[str, bytearray]] = None,
+        entry: Optional[str] = None,
+    ) -> ExecutionResult:
+        """Interpreter-compatible entry point."""
+        result, _ = self.execute(program, headers, meta, memory, entry)
+        return result

@@ -78,14 +78,33 @@ IntrinsicFn = Callable[["Machine", Tuple[Any, ...]], int]
 
 _INTRINSICS: Dict[str, IntrinsicFn] = {}
 
+#: Effect declarations: does the intrinsic mutate persistent memory
+#: objects? Anything that does (or is undeclared) makes the enclosing
+#: execution stateful, which the NIC's memo cache must treat as an
+#: invalidation point. Per-request state (``meta``, headers, the
+#: response payload) does not count — it is captured in the result.
+_INTRINSIC_WRITES_MEMORY: Dict[str, bool] = {}
 
-def register_intrinsic(name: str, fn: IntrinsicFn) -> None:
-    """Register a bulk operation usable via ``Op.INTRINSIC``."""
+
+def register_intrinsic(name: str, fn: IntrinsicFn,
+                       writes_memory: bool = True) -> None:
+    """Register a bulk operation usable via ``Op.INTRINSIC``.
+
+    ``writes_memory`` declares whether the intrinsic mutates persistent
+    memory objects; the conservative default keeps undeclared intrinsics
+    safe for the execution memo cache (their runs are never memoised).
+    """
     _INTRINSICS[name] = fn
+    _INTRINSIC_WRITES_MEMORY[name] = writes_memory
 
 
 def intrinsic_registered(name: str) -> bool:
     return name in _INTRINSICS
+
+
+def intrinsic_writes_memory(name: str) -> bool:
+    """Declared memory effect of an intrinsic (unknown => True)."""
+    return _INTRINSIC_WRITES_MEMORY.get(name, True)
 
 
 class Machine:

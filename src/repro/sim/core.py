@@ -16,6 +16,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, List, Optional
 
+#: Hoisted heapq entry points: the scheduler touches these once per
+#: event, so the module-attribute lookups are worth avoiding.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 #: Scheduling priority for bookkeeping events that must run before any
 #: ordinary event at the same timestamp (e.g. process initialisation).
 URGENT = 0
@@ -43,7 +48,15 @@ class Event:
     An event starts *pending*, becomes *triggered* once it has a value
     (or an exception) and has been scheduled, and becomes *processed*
     once its callbacks have run.
+
+    Events are the highest-churn allocation in the simulator (every
+    timeout, resource grant, and process step creates one), so the core
+    event types declare ``__slots__``. Subclasses defined elsewhere
+    (resource requests, store operations) still get a ``__dict__`` and
+    may attach ad-hoc attributes as before.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -111,6 +124,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -125,18 +140,32 @@ class Timeout(Event):
 
 
 class ConditionValue:
-    """Ordered mapping of events to values for condition results."""
+    """Ordered mapping of events to values for condition results.
+
+    Iteration order is the condition's sub-event order; membership is
+    answered from a parallel set so ``in`` and ``[]`` stay O(1) even
+    for wide fan-in conditions.
+    """
+
+    __slots__ = ("events", "_members")
 
     def __init__(self) -> None:
         self.events: List[Event] = []
+        self._members: set = set()
+
+    def add(self, event: Event) -> None:
+        """Append ``event`` preserving order (idempotent)."""
+        if event not in self._members:
+            self.events.append(event)
+            self._members.add(event)
 
     def __getitem__(self, key: Event) -> Any:
-        if key not in self.events:
+        if key not in self._members:
             raise KeyError(key)
         return key._value
 
     def __contains__(self, key: Event) -> bool:
-        return key in self.events
+        return key in self._members
 
     def __len__(self) -> int:
         return len(self.events)
@@ -159,6 +188,8 @@ class Condition(Event):
     standard instantiations.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -175,17 +206,19 @@ class Condition(Event):
         if self._evaluate(self._events, self._count):
             self.succeed(ConditionValue())
             return
+        # One bound-method lookup for the whole fan-in, not one per event.
+        check = self._check
         for event in self._events:
             if event.processed:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _collect_values(self) -> ConditionValue:
         value = ConditionValue()
         for event in self._events:
             if event.triggered:
-                value.events.append(event)
+                value.add(event)
         return value
 
     def _check(self, event: Event) -> None:
@@ -210,12 +243,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires once every sub-event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Fires once any sub-event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)
@@ -245,7 +282,7 @@ class Environment:
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Place a triggered event on the calendar."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        _heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf``."""
@@ -256,7 +293,7 @@ class Environment:
     def step(self) -> None:
         """Process the next event on the calendar."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = _heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
         callbacks, event.callbacks = event.callbacks, None
@@ -288,9 +325,10 @@ class Environment:
                 stop_event._value = None
                 stop_event.callbacks = [self._stop_callback]
                 self.schedule(stop_event, URGENT, at - self._now)
+        step = self.step  # hot loop: one bound-method lookup total
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             stop_value = stop.args[0] if stop.args else None
         except EmptySchedule:

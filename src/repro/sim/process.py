@@ -29,6 +29,8 @@ class Interrupt(Exception):
 class Initialize(Event):
     """Starts a freshly created process at the current time."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, process: "Process") -> None:
         super().__init__(env)
         self._ok = True
@@ -39,6 +41,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Immediately schedules an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -66,6 +70,8 @@ class Interruption(Event):
 
 class Process(Event):
     """An active component driven by a generator of events."""
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: Environment, generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):

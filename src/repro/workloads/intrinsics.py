@@ -78,10 +78,18 @@ def checksum(machine: Machine, args) -> int:
 
 
 def install_intrinsics() -> None:
-    """Idempotently register all workload intrinsics."""
-    register_intrinsic("reply_from_memory", reply_from_memory)
-    register_intrinsic("grayscale", grayscale)
-    register_intrinsic("checksum", checksum)
+    """Idempotently register all workload intrinsics.
+
+    Effect declarations matter for the NIC's execution memo cache:
+    ``reply_from_memory`` and ``checksum`` only read objects (their
+    outputs land in per-request state), while ``grayscale`` rewrites
+    the image buffer in place and therefore marks its executions as
+    stateful.
+    """
+    register_intrinsic("reply_from_memory", reply_from_memory,
+                       writes_memory=False)
+    register_intrinsic("grayscale", grayscale, writes_memory=True)
+    register_intrinsic("checksum", checksum, writes_memory=False)
 
 
 install_intrinsics()

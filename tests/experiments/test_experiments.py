@@ -15,6 +15,7 @@ from repro.experiments import (
     fig8_contention,
     fig9_optimizer,
     micro_reorder,
+    perf,
     table1_nic_types,
     table3_resources,
     table4_startup,
@@ -25,7 +26,7 @@ from repro.experiments.calibration import PAPER_FIG9, PAPER_TABLE4
 def test_registry_covers_every_table_and_figure():
     assert set(ALL_EXPERIMENTS) == {
         "table1", "fig6", "fig7", "fig8", "table2", "table3", "table4",
-        "fig9", "reorder", "fault_recovery",
+        "fig9", "reorder", "fault_recovery", "perf",
     }
 
 
@@ -133,6 +134,25 @@ def test_experiments_deterministic_for_fixed_seed():
     first = fig6_latency.run_cell("web_server", "lambda-nic", FAST_CONFIG)
     second = fig6_latency.run_cell("web_server", "lambda-nic", FAST_CONFIG)
     assert first.samples == second.samples
+
+
+def test_perf_report_shapes():
+    """The perf driver measures real rates and a >1x fast-path win.
+
+    The hard >=3x regression gate lives in benchmarks/test_sim_perf.py;
+    here we only require structural sanity plus a nontrivial speedup so
+    a loaded CI host cannot flake this tier-1 test.
+    """
+    metrics = perf.collect(FAST_CONFIG)
+    for key in ("reference_exec_per_s", "fastpath_exec_per_s",
+                "memo_replay_per_s", "sim_events_per_s",
+                "sim_requests_per_s"):
+        assert metrics[key] > 0, key
+    assert metrics["fastpath_speedup"] > 1.0
+    assert metrics["memo_hit_rate"] > 0.9
+    report = perf.run(FAST_CONFIG)
+    assert len(report.rows) == 7
+    assert "Perf" in report.format()
 
 
 def test_fault_recovery_storm_shapes():

@@ -317,3 +317,69 @@ def test_event_value_before_trigger_raises():
         _ = event.value
     with pytest.raises(SimulationError):
         _ = event.ok
+
+
+def test_core_event_types_declare_slots():
+    """The hot-path event types must stay dict-free (allocation churn)."""
+    from repro.sim.core import AllOf, AnyOf, Condition, ConditionValue, Timeout
+    from repro.sim.process import Process
+
+    env = Environment()
+    for instance in [
+        Event(env),
+        Timeout(env, 0.0),
+        env.all_of([]),
+        env.any_of([]),
+        ConditionValue(),
+        Process(env, (x for x in [])),
+    ]:
+        assert not hasattr(instance, "__dict__"), type(instance).__name__
+    for cls in [Event, Timeout, Condition, AllOf, AnyOf, Process]:
+        assert hasattr(cls, "__slots__"), cls.__name__
+    env.run()
+
+
+def test_event_subclasses_keep_dict():
+    """Ad-hoc attributes still work on subclasses defined elsewhere."""
+
+    class Request(Event):
+        pass
+
+    env = Environment()
+    request = Request(env)
+    request.preempt = True  # resource code attaches attributes like this
+    assert request.preempt
+
+
+def test_condition_value_membership_is_exact():
+    env = Environment()
+    t1 = env.timeout(0.0, value=1)
+    results = []
+
+    def waiter(env):
+        value = yield env.all_of([t1])
+        results.append(value)
+
+    env.process(waiter(env))
+    env.run()
+    value = results[0]
+    # Untriggered foreign events are not members, and the set-backed
+    # membership agrees with iteration order exactly.
+    stranger = env.event()
+    assert stranger not in value
+    assert [e for e in value] == [t1]
+    with pytest.raises(KeyError):
+        value[stranger]
+
+
+def test_condition_value_add_is_idempotent():
+    from repro.sim.core import ConditionValue
+
+    env = Environment()
+    event = Event(env)
+    event._value = "x"
+    value = ConditionValue()
+    value.add(event)
+    value.add(event)
+    assert len(value) == 1
+    assert value[event] == "x"
