@@ -96,6 +96,9 @@ class ExperimentConfig:
     #: End-to-end simulated requests in the perf benchmark's
     #: events-per-second measurement.
     perf_sim_requests: int = 300
+    #: Run with span tracing enabled; traced experiments attach a
+    #: :class:`repro.obs.TraceCollection` to their report.
+    trace: bool = False
 
 
 DEFAULT_CONFIG = ExperimentConfig()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..faults import FaultPlan
+from ..obs import TraceCollection
 from ..serverless import Testbed, open_loop
 from ..workloads import standard_workloads
 from .calibration import DEFAULT_CONFIG, WORKLOAD_NAMES, ExperimentConfig
@@ -62,7 +63,8 @@ def build_plan(t0: float) -> FaultPlan:
 
 
 def run_storm(seed: int = 42, rate_rps: float = 25.0,
-              after_rate_rps: Optional[float] = None) -> dict:
+              after_rate_rps: Optional[float] = None,
+              trace: bool = False) -> dict:
     """Run the full storm scenario; returns raw results for reporting.
 
     The returned dict has ``during`` / ``after`` ({workload: LoadResult}),
@@ -71,6 +73,7 @@ def run_storm(seed: int = 42, rate_rps: float = 25.0,
     """
     tb = Testbed(
         seed=seed, n_workers=2, with_etcd=True, with_failover=True,
+        with_tracing=trace,
         gateway_kwargs=dict(GATEWAY_KWARGS),
     )
     tb.add_lambda_nic_backend()
@@ -135,7 +138,11 @@ def availability(result) -> float:
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
     """The registered experiment entry point."""
     config = config or DEFAULT_CONFIG
-    storm = run_storm(seed=config.seed)
+    storm = run_storm(seed=config.seed, trace=config.trace)
+    collection = None
+    if config.trace:
+        collection = TraceCollection()
+        collection.add("storm", storm["testbed"].tracer)
 
     cells = {}
     rows = []
@@ -176,5 +183,6 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
             f"mean time-to-failover {storm['mttf'] * 1e3:.1f} ms",
         ],
         cells=cells,
+        trace=collection,
     )
     return report

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..obs import TraceCollection
 from ..serverless import Testbed, closed_loop
 from ..workloads import standard_workloads
 from .calibration import BACKENDS, DEFAULT_CONFIG, ExperimentConfig
@@ -18,12 +19,14 @@ from .harness import Cell, ExperimentReport, run_scenario
 
 
 def run_cell(workload_name: str, backend: str,
-             config: ExperimentConfig) -> Cell:
+             config: ExperimentConfig,
+             collection: Optional[TraceCollection] = None) -> Cell:
     """Measure one (workload, backend) cell in isolation."""
     spec = standard_workloads()[workload_name]
     n_requests = (config.image_latency_requests
                   if spec.kind == "image" else config.latency_requests)
-    tb = Testbed(seed=config.seed, n_workers=1)
+    tb = Testbed(seed=config.seed, n_workers=1,
+                 with_tracing=collection is not None)
 
     def body(env):
         result = yield closed_loop(
@@ -34,6 +37,8 @@ def run_cell(workload_name: str, backend: str,
         return result
 
     load = run_scenario(tb, [spec], backend, body)
+    if collection is not None:
+        collection.add(f"{workload_name}:{backend}", tb.tracer)
     return Cell(
         workload=workload_name,
         backend=backend,
@@ -47,11 +52,12 @@ def run_cell(workload_name: str, backend: str,
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
     """Regenerate Figure 6 (all nine cells plus improvement factors)."""
     config = config or DEFAULT_CONFIG
+    collection = TraceCollection() if config.trace else None
     cells: Dict[Tuple[str, str], Cell] = {}
     for workload_name in ["web_server", "kv_client", "image_transformer"]:
         for backend in BACKENDS:
             cells[(workload_name, backend)] = run_cell(
-                workload_name, backend, config
+                workload_name, backend, config, collection
             )
 
     rows = []
@@ -80,6 +86,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
             "(web/kv); 5x / 3x (image); 5-24x at p99 vs bare-metal",
         ],
         cells=cells,
+        trace=collection,
     )
     return report
 

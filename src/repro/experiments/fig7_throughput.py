@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..obs import TraceCollection
 from ..serverless import Testbed, closed_loop
 from ..workloads import standard_workloads
 from .calibration import BACKENDS, DEFAULT_CONFIG, ExperimentConfig
@@ -18,12 +19,14 @@ from .harness import Cell, ExperimentReport, run_scenario
 
 
 def run_cell(workload_name: str, backend: str, concurrency: int,
-             config: ExperimentConfig) -> Cell:
+             config: ExperimentConfig,
+             collection: Optional[TraceCollection] = None) -> Cell:
     spec = standard_workloads()[workload_name]
     n_requests = (config.image_throughput_requests
                   if spec.kind == "image" else config.throughput_requests)
     n_requests = max(n_requests, concurrency * 2)
-    tb = Testbed(seed=config.seed, n_workers=1)
+    tb = Testbed(seed=config.seed, n_workers=1,
+                 with_tracing=collection is not None)
 
     def body(env):
         result = yield closed_loop(
@@ -34,6 +37,8 @@ def run_cell(workload_name: str, backend: str, concurrency: int,
         return result
 
     load = run_scenario(tb, [spec], backend, body)
+    if collection is not None:
+        collection.add(f"{workload_name}:{backend}:c{concurrency}", tb.tracer)
     return Cell(
         workload=workload_name,
         backend=backend,
@@ -46,12 +51,13 @@ def run_cell(workload_name: str, backend: str, concurrency: int,
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
     """Regenerate Figure 7 (throughput at 1 and 56 threads)."""
     config = config or DEFAULT_CONFIG
+    collection = TraceCollection() if config.trace else None
     cells: Dict[Tuple[str, str, int], Cell] = {}
     for workload_name in ["web_server", "kv_client", "image_transformer"]:
         for backend in BACKENDS:
             for concurrency in config.concurrencies:
                 cells[(workload_name, backend, concurrency)] = run_cell(
-                    workload_name, backend, concurrency, config
+                    workload_name, backend, concurrency, config, collection
                 )
 
     rows = []
@@ -78,4 +84,5 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
             "paper: lambda-nic 27x-736x faster for web/kv, 5x-15x for image",
         ],
         cells=cells,
+        trace=collection,
     )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs import TraceCollection
 from ..serverless import Testbed
 from ..workloads import WorkloadSpec
 
@@ -56,6 +57,9 @@ class ExperimentReport:
     rows: List[List[Any]]
     notes: List[str] = field(default_factory=list)
     cells: Dict[Any, Cell] = field(default_factory=dict)
+    #: Spans collected across the experiment's cells when the config
+    #: asked for tracing (``ExperimentConfig.trace``); None otherwise.
+    trace: Optional[TraceCollection] = None
 
     def format(self) -> str:
         widths = [len(str(h)) for h in self.headers]

@@ -63,6 +63,11 @@ class FaultInjector:
             self.skipped.append((self.env.now, event.action, event.target))
             return
         self.trace.append((self.env.now, event.action, target))
+        if self.env.tracer is not None:
+            self.env.tracer.instant(
+                "fault.injected", "fault", node=target,
+                tags={"action": event.action},
+            )
         if self.faults_injected_total is not None:
             self.faults_injected_total.inc(labels={"action": event.action})
 

@@ -9,19 +9,50 @@ constantly — exactly the contrast the paper's Figure 8 measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import CounterAttribute, MetricsRegistry
 from ..sim import Environment, Event
 from .params import CpuParams
 
 
-@dataclass
 class CpuStats:
-    context_switches: int = 0
-    busy_seconds: float = 0.0
-    requests: int = 0
-    per_task_busy: Dict[str, float] = field(default_factory=dict)
+    """CPU accounting, backed by a typed metrics registry.
+
+    Attribute-compatible with the dataclass it replaces — see
+    :class:`repro.hw.nic.NicStats` for the pattern. ``per_task_busy``
+    is a dict view over a labelled counter; writers use
+    :meth:`add_task_busy`.
+    """
+
+    context_switches = CounterAttribute(
+        "cpu_context_switches_total", "task switches on hardware threads")
+    busy_seconds = CounterAttribute(
+        "cpu_busy_seconds_total", "CPU time charged", cast=float)
+    requests = CounterAttribute(
+        "cpu_requests_total", "execute() grants")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 node: str = "") -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = {"node": node} if node else None
+        self._per_task = self.registry.counter(
+            "cpu_task_busy_seconds_total", "CPU time charged per task")
+
+    def add_task_busy(self, task: str, cpu_seconds: float) -> None:
+        labels = dict(self.labels or {})
+        labels["task"] = task
+        self._per_task.inc(cpu_seconds, labels=labels)
+
+    @property
+    def per_task_busy(self) -> Dict[str, float]:
+        node = (self.labels or {}).get("node")
+        out: Dict[str, float] = {}
+        for labels, value in self._per_task.items():
+            if node is not None and labels.get("node") != node:
+                continue
+            out[labels["task"]] = value
+        return out
 
     def utilization(self, elapsed: float, n_threads: int) -> float:
         """Machine-wide CPU utilisation over ``elapsed`` (0..1)."""
@@ -70,7 +101,9 @@ class HostCPU:
     """A multi-threaded server CPU."""
 
     def __init__(self, env: Environment, params: Optional[CpuParams] = None,
-                 n_threads: Optional[int] = None) -> None:
+                 n_threads: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 node: str = "") -> None:
         self.env = env
         self.params = params or CpuParams()
         self.n_threads = n_threads if n_threads is not None else self.params.n_threads
@@ -78,7 +111,7 @@ class HostCPU:
             raise ValueError("n_threads must be positive")
         self._pool = _LifoThreadPool(env, self.n_threads)
         self._last_task: List[Optional[str]] = [None] * self.n_threads
-        self.stats = CpuStats()
+        self.stats = CpuStats(registry=metrics, node=node)
 
     @property
     def busy_threads(self) -> int:
@@ -88,12 +121,15 @@ class HostCPU:
     def run_queue_length(self) -> int:
         return self._pool.waiting
 
-    def execute(self, task_id: str, cpu_seconds: float):
+    def execute(self, task_id: str, cpu_seconds: float, trace=None):
         """Process: occupy one hardware thread for ``cpu_seconds``.
 
         Charges a context switch if the thread last ran a different
         task. Returns the total time occupied (including the switch).
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` pair;
+        the span then covers run-queue wait plus occupancy.
         """
+        queued_at = self.env.now
         thread_id = yield self._pool.acquire()
         cost = cpu_seconds
         if self._last_task[thread_id] != task_id:
@@ -103,15 +139,19 @@ class HostCPU:
         yield self.env.timeout(cost)
         self.stats.requests += 1
         self.stats.busy_seconds += cost
-        self.stats.per_task_busy[task_id] = (
-            self.stats.per_task_busy.get(task_id, 0.0) + cost
-        )
+        self.stats.add_task_busy(task_id, cost)
+        tracer = self.env.tracer
+        if tracer is not None and trace is not None:
+            trace_id, parent_id = trace
+            tracer.end(tracer.begin(
+                "host.cpu", "host", trace_id=trace_id, parent=parent_id,
+                node=f"thread{thread_id}", start=queued_at,
+                tags={"task": task_id},
+            ))
         self._pool.release(thread_id)
         return cost
 
     def account(self, task_id: str, cpu_seconds: float) -> None:
         """Attribute CPU time without occupying a thread (kernel work)."""
         self.stats.busy_seconds += cpu_seconds
-        self.stats.per_task_busy[task_id] = (
-            self.stats.per_task_busy.get(task_id, 0.0) + cpu_seconds
-        )
+        self.stats.add_task_busy(task_id, cpu_seconds)

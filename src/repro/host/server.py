@@ -10,7 +10,7 @@ context switches whenever distinct lambdas share threads.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..net import (
@@ -23,6 +23,7 @@ from ..net import (
     UDPHeader,
 )
 from ..net.network import Node
+from ..obs import CounterAttribute, MetricsRegistry, Tracer
 from ..sim import Environment, Resource
 from .cpu import HostCPU
 from .params import HostParams
@@ -53,17 +54,56 @@ class Deployment:
         return self.runtime.package_bytes(self.code_bytes)
 
 
-@dataclass
 class ServerStats:
-    requests_served: int = 0
-    responses_sent: int = 0
-    dropped_unknown: int = 0
-    dropped_cold: int = 0
-    dropped_down: int = 0
-    handler_errors: int = 0
-    crashes: int = 0
-    latencies: List[float] = field(default_factory=list)
-    per_lambda_requests: Dict[str, int] = field(default_factory=dict)
+    """Per-server accounting, backed by a typed metrics registry.
+
+    Attribute-compatible with the dataclass it replaces — see
+    :class:`repro.hw.nic.NicStats` for the pattern.
+    """
+
+    requests_served = CounterAttribute(
+        "host_requests_served_total", "requests completed by handlers")
+    responses_sent = CounterAttribute(
+        "host_responses_sent_total", "response packets emitted")
+    dropped_unknown = CounterAttribute(
+        "host_dropped_unknown_total", "packets for unknown workloads")
+    dropped_cold = CounterAttribute(
+        "host_dropped_cold_total", "packets hitting cold deployments")
+    dropped_down = CounterAttribute(
+        "host_dropped_down_total", "packets dropped while crashed")
+    handler_errors = CounterAttribute(
+        "host_handler_errors_total", "handlers that raised")
+    crashes = CounterAttribute(
+        "host_crashes_total", "machine crashes")
+
+    def __init__(self, registry: Optional["MetricsRegistry"] = None,
+                 node: str = "") -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = {"node": node} if node else None
+        self._latency_histogram = self.registry.histogram(
+            "host_latency_seconds", "arrival-to-response latency")
+        self._per_lambda = self.registry.counter(
+            "host_lambda_requests_total", "requests served per lambda")
+
+    @property
+    def latencies(self) -> List[float]:
+        """Live latency list (a histogram view; appends flow through)."""
+        return self._latency_histogram.raw(self.labels)
+
+    def count_lambda(self, name: str) -> None:
+        labels = dict(self.labels or {})
+        labels["lambda"] = name
+        self._per_lambda.inc(labels=labels)
+
+    @property
+    def per_lambda_requests(self) -> Dict[str, int]:
+        node = (self.labels or {}).get("node")
+        out: Dict[str, int] = {}
+        for labels, value in self._per_lambda.items():
+            if node is not None and labels.get("node") != node:
+                continue
+            out[labels["lambda"]] = int(value)
+        return out
 
 
 class RequestContext:
@@ -77,6 +117,9 @@ class RequestContext:
         self.request = request
         self.response_bytes = 64
         self.response_meta: Dict[str, Any] = {}
+        #: (trace_id, parent_span_id) of the server's handle span, set
+        #: by the server when tracing is on.
+        self.trace = None
 
     @property
     def request_id(self) -> int:
@@ -100,11 +143,13 @@ class RequestContext:
                 with self.deployment.compute_lock.request() as lock:
                     yield lock
                     result = yield self.env.process(
-                        self.server.cpu.execute(self.deployment.name, scaled)
+                        self.server.cpu.execute(self.deployment.name, scaled,
+                                                trace=self.trace)
                     )
             else:
                 result = yield self.env.process(
-                    self.server.cpu.execute(self.deployment.name, scaled)
+                    self.server.cpu.execute(self.deployment.name, scaled,
+                                            trace=self.trace)
                 )
             return result
 
@@ -116,7 +161,7 @@ class RequestContext:
         return self.env.process(
             self.server.call_service(
                 dst, method=method, key=key, request_bytes=request_bytes,
-                timeout=timeout, retries=retries,
+                timeout=timeout, retries=retries, trace=self.trace,
             )
         )
 
@@ -137,14 +182,16 @@ class HostServer:
         node: Node,
         params: Optional[HostParams] = None,
         cpu: Optional[HostCPU] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.env = env
         self.node = node
         self.name = node.name
         self.params = params or HostParams()
-        self.cpu = cpu or HostCPU(env, self.params.cpu)
+        self.cpu = cpu or HostCPU(env, self.params.cpu, metrics=metrics,
+                                  node=self.name)
         self.memory = HostMemory()
-        self.stats = ServerStats()
+        self.stats = ServerStats(registry=metrics, node=self.name)
         #: False after :meth:`crash`: inbound packets are dropped and
         #: in-flight handlers die silently until :meth:`restart`.
         self.online = True
@@ -229,6 +276,8 @@ class HostServer:
             deployment.warm = False
         # Outstanding service-call waiters died with their handlers.
         self._pending.clear()
+        if self.env.tracer is not None:
+            self.env.tracer.instant("host.crash", "fault", node=self.name)
 
     def restart(self, reboot_seconds: float = 1.0):
         """Process: power the machine back on and re-warm deployments."""
@@ -236,6 +285,9 @@ class HostServer:
         def rebooter():
             yield self.env.timeout(reboot_seconds)
             self.online = True
+            if self.env.tracer is not None:
+                self.env.tracer.instant("host.restart", "fault",
+                                        node=self.name)
             starts = [self.start(name) for name in sorted(self._deployments)]
             if starts:
                 yield self.env.all_of(starts)
@@ -248,6 +300,13 @@ class HostServer:
     def receive(self, packet: Packet) -> None:
         if not self.online:
             self.stats.dropped_down += 1
+            tracer = self.env.tracer
+            if tracer is not None:
+                trace_id, parent = Tracer.context(packet)
+                if trace_id:
+                    tracer.instant("host.drop", "host", trace_id=trace_id,
+                                   parent=parent, node=self.name,
+                                   tags={"reason": "host_down"})
             return
         header = packet.headers.get("LambdaHeader")
         if header is not None and header.is_response and \
@@ -259,17 +318,34 @@ class HostServer:
     def _handle(self, packet: Packet):
         arrival = self.env.now
         epoch = self._epoch
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None:
+            trace_id, parent = Tracer.context(packet)
+            if trace_id:
+                span = tracer.begin("host.handle", "host",
+                                    trace_id=trace_id, parent=parent,
+                                    node=self.name)
         kernel = self.params.kernel
         yield self.env.timeout(kernel.rx_seconds)
         self.cpu.account("kernel", kernel.cpu_per_packet_seconds)
+        if span is not None:
+            tracer.end(tracer.begin(
+                "host.kernel_rx", "host", trace_id=span.trace_id,
+                parent=span, node=self.name, start=arrival,
+            ))
 
         header = packet.headers.get("LambdaHeader")
         deployment = self._by_wid.get(header.wid) if header is not None else None
         if deployment is None:
             self.stats.dropped_unknown += 1
+            if span is not None:
+                tracer.end(span, tags={"verdict": "dropped_unknown"})
             return
         if not deployment.warm:
             self.stats.dropped_cold += 1
+            if span is not None:
+                tracer.end(span, tags={"verdict": "dropped_cold"})
             return
 
         # Runtime plumbing: overlay network / dispatch to the lambda.
@@ -277,6 +353,9 @@ class HostServer:
         # the interpreter (request parse, demux), so it is CPU work
         # under the GIL; for a raw runtime it is pure latency.
         ctx = RequestContext(self, deployment, packet)
+        if span is not None:
+            ctx.trace = (span.trace_id, span.span_id)
+        dispatch_start = self.env.now
         if deployment.runtime.serialize_compute:
             yield ctx.compute(deployment.runtime.dispatch_seconds)
         else:
@@ -285,7 +364,20 @@ class HostServer:
             self.cpu.account(
                 deployment.name, deployment.runtime.cpu_overhead_seconds
             )
+        if span is not None:
+            tracer.end(tracer.begin(
+                "host.dispatch", "host", trace_id=span.trace_id,
+                parent=span, node=self.name, start=dispatch_start,
+                tags={"runtime": deployment.runtime.name},
+            ))
 
+        handler_span = None
+        if span is not None:
+            handler_span = tracer.begin(
+                "host.handler", "host", trace_id=span.trace_id,
+                parent=span, node=self.name,
+                tags={"lambda": deployment.name},
+            )
         try:
             if deployment.semaphore is not None:
                 with deployment.semaphore.request() as slot:
@@ -301,20 +393,32 @@ class HostServer:
             # the handler's, and are not counted against it.
             if epoch == self._epoch:
                 self.stats.handler_errors += 1
+            if span is not None:
+                tracer.end(handler_span, tags={"error": 1})
+                tracer.end(span, tags={"verdict": "handler_error"})
             return
+        if span is not None:
+            tracer.end(handler_span)
 
         if epoch != self._epoch:
             # The machine crashed while this request was in flight:
             # the response died with it.
+            if span is not None:
+                tracer.end(span, tags={"verdict": "crashed"})
             return
+        tx_start = self.env.now
         yield self.env.timeout(kernel.tx_seconds)
         self.cpu.account("kernel", kernel.cpu_per_packet_seconds)
 
         self.stats.requests_served += 1
-        self.stats.per_lambda_requests[deployment.name] = (
-            self.stats.per_lambda_requests.get(deployment.name, 0) + 1
-        )
+        self.stats.count_lambda(deployment.name)
         self.stats.latencies.append(self.env.now - arrival)
+        if span is not None:
+            tracer.end(tracer.begin(
+                "host.kernel_tx", "host", trace_id=span.trace_id,
+                parent=span, node=self.name, start=tx_start,
+            ))
+            tracer.end(span, tags={"verdict": "ok"})
         self._respond(packet, ctx)
 
     def _respond(self, request: Packet, ctx: RequestContext) -> None:
@@ -329,6 +433,7 @@ class HostServer:
             payload_bytes=ctx.response_bytes,
             meta={"lambda_meta": dict(ctx.response_meta)},
         )
+        Tracer.propagate(request, response)
         self.stats.responses_sent += 1
         self.node.send(response)
 
@@ -336,7 +441,7 @@ class HostServer:
 
     def call_service(self, dst: str, method: str = "GET", key: str = "",
                      request_bytes: int = 64, timeout: float = 0.05,
-                     retries: int = 3):
+                     retries: int = 3, trace=None):
         """Process: RPC with sender-side tracking and retransmission.
 
         The weakly-consistent delivery semantic of the paper (§4.2.1-D3):
@@ -345,12 +450,20 @@ class HostServer:
         kernel = self.params.kernel
         call_id = next(self._call_ids)
         attempt = 0
+        tracer = self.env.tracer
+        call_span = None
+        if tracer is not None and trace is not None:
+            trace_id, parent_id = trace
+            call_span = tracer.begin(
+                "host.call", "host", trace_id=trace_id, parent=parent_id,
+                node=self.name, tags={"dst": dst, "method": method},
+            )
         while True:
             attempt += 1
             waiter = self.env.event()
             self._pending[call_id] = waiter
             yield self.env.timeout(kernel.tx_seconds)
-            self.node.send(Packet(
+            call = Packet(
                 src=self.name,
                 dst=dst,
                 headers=HeaderStack([
@@ -361,7 +474,10 @@ class HostServer:
                     RpcHeader(method=method, key=key),
                 ]),
                 payload_bytes=request_bytes,
-            ))
+            )
+            if call_span is not None:
+                Tracer.stamp_packet(call, call_span)
+            self.node.send(call)
             result = yield self.env.any_of(
                 [waiter, self.env.timeout(timeout, value="timeout")]
             )
@@ -371,9 +487,13 @@ class HostServer:
                     response = waiter.value
             if response is not None:
                 yield self.env.timeout(kernel.rx_seconds)
+                if call_span is not None:
+                    tracer.end(call_span, tags={"ok": 1, "attempts": attempt})
                 return response
             self._pending.pop(call_id, None)
             if attempt > retries:
+                if call_span is not None:
+                    tracer.end(call_span, tags={"ok": 0, "attempts": attempt})
                 raise ServiceTimeout(
                     f"{dst!r} did not answer after {retries} retries"
                 )

@@ -9,7 +9,6 @@ straight back out the wire without host involvement (paper §4/§5).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..compiler import Firmware
@@ -32,6 +31,7 @@ from ..net import (
     UDPHeader,
 )
 from ..net.network import Node
+from ..obs import CounterAttribute, MetricsRegistry, Tracer
 from ..sim import Environment
 from ..transport import ReorderBuffer
 from .memo import ExecutionMemoCache, make_key
@@ -48,22 +48,71 @@ PIPELINE_OVERHEAD_CYCLES = 300
 REORDER_CYCLES_PER_SEGMENT = 30
 
 
-@dataclass
 class NicStats:
-    requests_served: int = 0
-    responses_sent: int = 0
-    sent_to_host: int = 0
-    dropped_no_firmware: int = 0
-    dropped_during_swap: int = 0
-    dropped_nic_down: int = 0
-    rdma_segments: int = 0
-    rdma_messages: int = 0
-    total_cycles: int = 0
-    busy_seconds: float = 0.0
-    firmware_swaps: int = 0
-    swap_downtime_seconds: float = 0.0
-    per_lambda_requests: Dict[str, int] = field(default_factory=dict)
-    latencies: List[float] = field(default_factory=list)
+    """Per-NIC accounting, backed by a typed metrics registry.
+
+    Attribute-compatible with the dataclass it replaces: counters read
+    and ``+=`` like plain ints/floats (:class:`CounterAttribute`),
+    ``latencies`` is the live observation list of a registry histogram,
+    and ``per_lambda_requests`` is a dict view over a labelled counter
+    (writers use :meth:`count_lambda`). Passing a shared registry plus
+    a ``node`` label folds many NICs into one scrape surface.
+    """
+
+    requests_served = CounterAttribute(
+        "nic_requests_served_total", "requests answered on-NIC")
+    responses_sent = CounterAttribute(
+        "nic_responses_sent_total", "response packets emitted")
+    sent_to_host = CounterAttribute(
+        "nic_sent_to_host_total", "requests punted to the host CPU")
+    dropped_no_firmware = CounterAttribute(
+        "nic_dropped_no_firmware_total", "packets dropped: no firmware")
+    dropped_during_swap = CounterAttribute(
+        "nic_dropped_during_swap_total", "packets dropped mid-swap")
+    dropped_nic_down = CounterAttribute(
+        "nic_dropped_down_total", "packets dropped: NIC dark or coreless")
+    rdma_segments = CounterAttribute(
+        "nic_rdma_segments_total", "RDMA segments received")
+    rdma_messages = CounterAttribute(
+        "nic_rdma_messages_total", "RDMA messages reassembled")
+    total_cycles = CounterAttribute(
+        "nic_cycles_total", "NPU cycles charged")
+    busy_seconds = CounterAttribute(
+        "nic_busy_seconds_total", "NPU busy time", cast=float)
+    firmware_swaps = CounterAttribute(
+        "nic_firmware_swaps_total", "firmware installs")
+    swap_downtime_seconds = CounterAttribute(
+        "nic_swap_downtime_seconds_total", "time spent dark in swaps",
+        cast=float)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 node: str = "") -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = {"node": node} if node else None
+        self._latency_histogram = self.registry.histogram(
+            "nic_latency_seconds", "on-NIC serve latency")
+        self._per_lambda = self.registry.counter(
+            "nic_lambda_requests_total", "requests served per lambda")
+
+    @property
+    def latencies(self) -> List[float]:
+        """Live latency list (a histogram view; appends flow through)."""
+        return self._latency_histogram.raw(self.labels)
+
+    def count_lambda(self, name: str) -> None:
+        labels = dict(self.labels or {})
+        labels["lambda"] = name
+        self._per_lambda.inc(labels=labels)
+
+    @property
+    def per_lambda_requests(self) -> Dict[str, int]:
+        node = (self.labels or {}).get("node")
+        out: Dict[str, int] = {}
+        for labels, value in self._per_lambda.items():
+            if node is not None and labels.get("node") != node:
+                continue
+            out[labels["lambda"]] = int(value)
+        return out
 
 
 class SmartNIC:
@@ -88,6 +137,7 @@ class SmartNIC:
         use_fast_path: bool = True,
         enable_memo: bool = True,
         memo_entries: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if scheduler is None:
             if rng is None:
@@ -101,7 +151,7 @@ class SmartNIC:
         self.host_handler = host_handler
         self.firmware_swap_seconds = firmware_swap_seconds
         self.memory = NicMemory()
-        self.stats = NicStats()
+        self.stats = NicStats(registry=metrics, node=self.name)
         #: Reference interpreter — kept as the executable specification
         #: (and the engine when ``use_fast_path=False``).
         self.interpreter = Interpreter(clock_hz=clock_hz)
@@ -257,10 +307,14 @@ class SmartNIC:
         datapath, not of the deployment.
         """
         self.online = False
+        if self.env.tracer is not None:
+            self.env.tracer.instant("nic.fail", "fault", node=self.name)
 
     def restore(self) -> None:
         """Bring a failed NIC back; it serves the instant power returns."""
         self.online = True
+        if self.env.tracer is not None:
+            self.env.tracer.instant("nic.restore", "fault", node=self.name)
 
     def fail_island(self, island_id: int) -> None:
         """Take one NPU island offline; its cores stop being scheduled.
@@ -285,16 +339,29 @@ class SmartNIC:
 
     # -- datapath -------------------------------------------------------------
 
+    def _trace_drop(self, packet: Packet, reason: str) -> None:
+        tracer = self.env.tracer
+        if tracer is None:
+            return
+        trace_id, parent = Tracer.context(packet)
+        if trace_id:
+            tracer.instant("nic.drop", "nic", trace_id=trace_id,
+                           parent=parent, node=self.name,
+                           tags={"reason": reason})
+
     def receive(self, packet: Packet) -> None:
         """Network-node receive handler."""
         if not self.online:
             self.stats.dropped_nic_down += 1
+            self._trace_drop(packet, "nic_down")
             return
         if self._swapping:
             self.stats.dropped_during_swap += 1
+            self._trace_drop(packet, "swap")
             return
         if self.firmware is None:
             self.stats.dropped_no_firmware += 1
+            self._trace_drop(packet, "no_firmware")
             return
         if "RdmaHeader" in packet.headers:
             self._receive_rdma(packet)
@@ -314,7 +381,8 @@ class SmartNIC:
         self.env.process(self._serve(packet))
 
     def _execute(self, packet: Packet, headers: Dict[str, Dict[str, Any]],
-                 meta: Dict[str, Any]):
+                 meta: Dict[str, Any],
+                 trace_tags: Optional[Dict[str, Any]] = None):
         """Run the firmware against one parsed request.
 
         Uses the pre-decoded fast-path engine, consulting the execution
@@ -327,10 +395,16 @@ class SmartNIC:
         """
         program = self.firmware.program
         if not self.use_fast_path:
+            if trace_tags is not None:
+                trace_tags["engine"] = "interpreter"
+                trace_tags["memo"] = "off"
             return self.interpreter.run(
                 program, headers=headers, meta=meta,
                 memory=self._lambda_memory,
             )
+        if trace_tags is not None:
+            trace_tags["engine"] = "fastpath"
+            trace_tags["memo"] = "off" if self.memo is None else "miss"
         memo = self.memo
         key = None
         if memo is not None:
@@ -338,6 +412,8 @@ class SmartNIC:
                            self._payload_digest(packet))
             cached = memo.get(key)
             if cached is not None:
+                if trace_tags is not None:
+                    trace_tags["memo"] = "hit"
                 return cached
         result, wrote_memory = self.engine.execute(
             program, headers=headers, meta=meta,
@@ -363,6 +439,15 @@ class SmartNIC:
     def _serve(self, packet: Packet, extra_meta: Optional[Dict[str, Any]] = None,
                extra_cycles: int = 0):
         arrival = self.env.now
+        tracer = self.env.tracer
+        serve_span = None
+        if tracer is not None:
+            trace_id, parent = Tracer.context(packet)
+            if trace_id:
+                serve_span = tracer.begin(
+                    "nic.serve", "nic", trace_id=trace_id, parent=parent,
+                    node=self.name,
+                )
         headers = {
             header.name: {
                 name: getattr(header, name) for name in header.field_names()
@@ -379,23 +464,42 @@ class SmartNIC:
         if lambda_header is not None:
             lambda_name = self._wid_to_lambda.get(lambda_header.get("wid"))
 
-        result = self._execute(packet, headers, meta)
+        if serve_span is not None:
+            tracer.instant(
+                "nic.parse", "nic", trace_id=serve_span.trace_id,
+                parent=serve_span, node=self.name,
+                tags={"headers": len(headers)},
+            )
+        exec_tags: Optional[Dict[str, Any]] = (
+            {} if serve_span is not None else None
+        )
+        result = self._execute(packet, headers, meta, trace_tags=exec_tags)
         cycles = result.cycles + PIPELINE_OVERHEAD_CYCLES + extra_cycles
+        if serve_span is not None:
+            exec_tags["lambda"] = lambda_name or "<none>"
+            tracer.instant(
+                "nic.execute", "nic", trace_id=serve_span.trace_id,
+                parent=serve_span, node=self.name, tags=exec_tags,
+            )
 
         cores = self.available_cores
         if not cores:
             # Every island is failed: nothing can execute the request.
             self.stats.dropped_nic_down += 1
+            if serve_span is not None:
+                tracer.end(serve_span, tags={"verdict": "dropped_no_cores"})
             return
         core = self.scheduler.pick_core(cores, lambda_name or "<none>")
-        yield self.env.process(core.execute(cycles))
+        yield self.env.process(core.execute(
+            cycles,
+            trace=((serve_span.trace_id, serve_span.span_id)
+                   if serve_span is not None else None),
+        ))
 
         self.stats.total_cycles += cycles
         self.stats.busy_seconds += cycles / self.clock_hz
         if lambda_name is not None:
-            self.stats.per_lambda_requests[lambda_name] = (
-                self.stats.per_lambda_requests.get(lambda_name, 0) + 1
-            )
+            self.stats.count_lambda(lambda_name)
 
         # Outbound service calls emitted by the lambda (kv client -> memcached).
         for emitted in result.emitted:
@@ -422,21 +526,35 @@ class SmartNIC:
                 ]),
                 payload_bytes=int(emitted.meta.get("emit_bytes", 64)),
             )
+            # The call outlives this serve pass, so it carries the
+            # original (still-open) request context, not the serve span.
+            Tracer.propagate(packet, call)
             self.node.send(call)
 
         if result.verdict == VERDICT_FORWARD:
             self.stats.requests_served += 1
             self.stats.latencies.append(self.env.now - arrival)
+            if serve_span is not None:
+                tracer.end(serve_span,
+                           tags={"verdict": "forward", "cycles": cycles})
             self._send_response(packet, result)
         elif result.verdict == VERDICT_TO_HOST:
             self.stats.sent_to_host += 1
+            if serve_span is not None:
+                tracer.end(serve_span,
+                           tags={"verdict": "to_host", "cycles": cycles})
             if self.host_handler is not None:
                 self.host_handler(packet)
         elif result.verdict == VERDICT_DROP:
-            pass
+            if serve_span is not None:
+                tracer.end(serve_span,
+                           tags={"verdict": "drop", "cycles": cycles})
         else:
             # Fallthrough without a verdict: treat as host-bound.
             self.stats.sent_to_host += 1
+            if serve_span is not None:
+                tracer.end(serve_span,
+                           tags={"verdict": "to_host", "cycles": cycles})
             if self.host_handler is not None:
                 self.host_handler(packet)
 
@@ -456,6 +574,7 @@ class SmartNIC:
             payload_bytes=response_bytes,
             meta={"request_meta": dict(request.meta), "lambda_meta": result.meta},
         )
+        Tracer.propagate(request, response)
         self.stats.responses_sent += 1
         self.node.send(response)
 
@@ -479,10 +598,23 @@ class SmartNIC:
             last_packet.headers.require("RdmaHeader").qp
         )
         reorder_cycles = self._reorder.instructions_for(total)
+        tracer = self.env.tracer
+        rdma_span = None
+        if tracer is not None:
+            trace_id, parent = Tracer.context(last_packet)
+            if trace_id:
+                rdma_span = tracer.begin(
+                    "nic.rdma", "nic", trace_id=trace_id, parent=parent,
+                    node=self.name,
+                    tags={"segments": total,
+                          "reorder_cycles": reorder_cycles},
+                )
         if binding is None:
             # No binding: punt whole message to host.
             yield self.env.timeout(reorder_cycles / self.clock_hz)
             self.stats.sent_to_host += 1
+            if tracer is not None:
+                tracer.end(rdma_span, tags={"verdict": "to_host"})
             if self.host_handler is not None:
                 self.host_handler(last_packet)
             return
@@ -511,3 +643,5 @@ class SmartNIC:
                 extra_cycles=reorder_cycles,
             )
         )
+        if tracer is not None:
+            tracer.end(rdma_span, tags={"bytes": total_len})

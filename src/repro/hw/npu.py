@@ -55,10 +55,12 @@ class NPUCore:
     def queue_depth(self) -> int:
         return len(self.slots.queue)
 
-    def execute(self, cycles: int):
+    def execute(self, cycles: int, trace=None):
         """Process generator: occupy one thread for ``cycles``.
 
         Run-to-completion: once started, the work is never preempted.
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` pair; a
+        span then covers the thread-grant queueing plus the busy time.
         """
         start = self.env.now
         with self.slots.request() as slot:
@@ -68,6 +70,14 @@ class NPUCore:
             self.stats.requests += 1
             self.stats.cycles += cycles
             self.stats.busy_seconds += duration
+        tracer = self.env.tracer
+        if tracer is not None and trace is not None:
+            trace_id, parent_id = trace
+            tracer.end(tracer.begin(
+                "nic.npu", "nic", trace_id=trace_id, parent=parent_id,
+                node=f"island{self.island_id}/core{self.core_id}",
+                start=start, tags={"cycles": cycles},
+            ))
         return self.env.now - start
 
     def __repr__(self) -> str:

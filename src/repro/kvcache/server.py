@@ -21,6 +21,7 @@ from ..net import (
     UDPHeader,
 )
 from ..net.network import Node
+from ..obs import Tracer
 from ..sim import Environment
 
 #: RpcHeader.status codes.
@@ -75,6 +76,15 @@ class MemcachedServer:
         method = rpc.method.upper()
         key = rpc.key
         payload_bytes = packet.payload_bytes
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None:
+            trace_id, parent = Tracer.context(packet)
+            if trace_id:
+                span = tracer.begin(
+                    "kv.serve", "kv", trace_id=trace_id, parent=parent,
+                    node=self.name, tags={"method": method},
+                )
         yield self.env.timeout(
             self.base_service_seconds
             + self.per_kib_seconds * payload_bytes / 1024.0
@@ -104,6 +114,8 @@ class MemcachedServer:
                 status = STATUS_MISS
         else:
             status = STATUS_ERROR
+        if span is not None:
+            tracer.end(span, tags={"status": status})
         self._respond(packet, status, value)
 
     def _stored_bytes(self) -> int:
@@ -135,4 +147,5 @@ class MemcachedServer:
             payload=value,
             payload_bytes=max(len(value), 16),
         )
+        Tracer.propagate(request, response)
         self.node.send(response)

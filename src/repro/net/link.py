@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..obs import Tracer
 from ..sim import Environment, Store
 from .packet import Packet
 
@@ -54,29 +55,58 @@ class _Direction:
         self.up = True
         self.queue: Store = Store(env)
         self.stats = LinkStats()
+        #: Enqueue timestamps for traced packets only, so the hop span
+        #: covers queueing + serialization + propagation.
+        self._enqueue_ts = {}
         env.process(self._serializer())
+
+    def note_enqueue(self, packet: Packet) -> None:
+        """Remember when a traced packet entered the transmit queue."""
+        if self.env.tracer is not None and Tracer.context(packet)[0]:
+            self._enqueue_ts[id(packet)] = self.env.now
+
+    def _trace_hop(self, packet: Packet, enqueued_at,
+                   dropped: Optional[str] = None) -> None:
+        tracer = self.env.tracer
+        if tracer is None or enqueued_at is None:
+            return
+        trace_id, parent = Tracer.context(packet)
+        if not trace_id:
+            return
+        tags = {"bytes": packet.size_bytes}
+        if dropped is not None:
+            tags["dropped"] = dropped
+        tracer.end(tracer.begin(
+            "net.link", "net", trace_id=trace_id, parent=parent,
+            node=self.name, start=enqueued_at, tags=tags,
+        ))
 
     def _serializer(self):
         while True:
             packet = yield self.queue.get()
+            enqueued_at = (self._enqueue_ts.pop(id(packet), None)
+                           if self._enqueue_ts else None)
             if not self.up:
                 self.stats.packets_dropped += 1
                 self.stats.packets_dropped_down += 1
+                self._trace_hop(packet, enqueued_at, dropped="link_down")
                 continue
             if self.drop_probability > 0 and self.rng is not None:
                 if self.rng.random() < self.drop_probability:
                     self.stats.packets_dropped += 1
+                    self._trace_hop(packet, enqueued_at, dropped="loss")
                     continue
             yield self.env.timeout(packet.size_bits / self.bandwidth_bps)
             self.stats.packets_sent += 1
             self.stats.bytes_sent += packet.size_bytes
             # Propagation happens "in flight": schedule delivery without
             # blocking the serializer for the next packet.
-            self.env.process(self._propagate(packet))
+            self.env.process(self._propagate(packet, enqueued_at))
 
-    def _propagate(self, packet: Packet):
+    def _propagate(self, packet: Packet, enqueued_at=None):
         yield self.env.timeout(self.propagation_delay)
         packet.stamp(self.name, self.env.now)
+        self._trace_hop(packet, enqueued_at)
         self.deliver(packet)
 
 
@@ -146,8 +176,10 @@ class Link:
     def send(self, from_endpoint: str, packet: Packet) -> None:
         """Enqueue ``packet`` for transmission from ``from_endpoint``."""
         if from_endpoint == self.a:
+            self._ab.note_enqueue(packet)
             self._ab.queue.put(packet)
         elif from_endpoint == self.b:
+            self._ba.note_enqueue(packet)
             self._ba.queue.put(packet)
         else:
             raise ValueError(f"{from_endpoint!r} is not an endpoint of this link")

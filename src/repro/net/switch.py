@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from ..obs import Tracer
 from ..sim import Environment, Store
 from .link import Link
 from .packet import Packet
@@ -39,6 +40,8 @@ class Switch:
         self._pipeline: Store = Store(env)
         #: Node -> partition-group index; None means no active partition.
         self._partition: Optional[Dict[str, int]] = None
+        #: Pipeline-entry timestamps for traced packets only.
+        self._entry_ts: Dict[int, float] = {}
         self.stats = SwitchStats()
         env.process(self._forwarder())
 
@@ -90,19 +93,40 @@ class Switch:
         return self._partition.get(src, 0) != self._partition.get(dst, 0)
 
     def _receive(self, packet: Packet) -> None:
+        if self.env.tracer is not None and Tracer.context(packet)[0]:
+            self._entry_ts[id(packet)] = self.env.now
         self._pipeline.put(packet)
+
+    def _trace_hop(self, packet: Packet, entered_at,
+                   verdict: str) -> None:
+        tracer = self.env.tracer
+        if tracer is None or entered_at is None:
+            return
+        trace_id, parent = Tracer.context(packet)
+        if not trace_id:
+            return
+        tracer.end(tracer.begin(
+            "net.switch", "net", trace_id=trace_id, parent=parent,
+            node=self.name, start=entered_at,
+            tags={"verdict": verdict, "dst": packet.dst},
+        ))
 
     def _forwarder(self):
         while True:
             packet = yield self._pipeline.get()
+            entered_at = (self._entry_ts.pop(id(packet), None)
+                          if self._entry_ts else None)
             yield self.env.timeout(self.switching_latency)
             peer = self._table.get(packet.dst)
             if peer is None:
                 self.stats.packets_dropped_unknown += 1
+                self._trace_hop(packet, entered_at, "dropped_unknown")
                 continue
             if self._crosses_partition(packet.src, peer):
                 self.stats.packets_dropped_partition += 1
+                self._trace_hop(packet, entered_at, "dropped_partition")
                 continue
             packet.stamp(self.name, self.env.now)
             self.stats.packets_forwarded += 1
+            self._trace_hop(packet, entered_at, "forwarded")
             self._links[peer].send(self.name, packet)

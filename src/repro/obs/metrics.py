@@ -1,0 +1,352 @@
+"""The typed metrics registry (single canonical implementation).
+
+Counters, gauges, and histograms with label support, percentile and
+ECDF queries, sim-time observation windows, and commutative merging.
+``repro.serverless.metrics`` re-exports these types, so every consumer
+(gateway, monitoring engine, NIC/host stats) shares one implementation
+— the percentile logic that used to be duplicated (and re-sorted the
+raw observation list on every call) now lives in :func:`percentile_of`
+over a histogram-maintained sorted cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Optional[Dict[str, str]]) -> LabelSet:
+    return tuple(sorted((labels or {}).items()))
+
+
+def percentile_of(sorted_data: List[float], q: float) -> float:
+    """Nearest-rank percentile over already-sorted data; q in [0, 100].
+
+    The one percentile implementation in the repository: histograms,
+    load results, and experiment cells all funnel through here.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    if not sorted_data:
+        return math.nan
+    n = len(sorted_data)
+    rank = max(0, min(n - 1, math.ceil(q / 100 * n) - 1))
+    return sorted_data[rank]
+
+
+class Counter:
+    """Monotonically increasing count, optionally labelled."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: Dict[LabelSet, float] = {}
+
+    def inc(self, amount: float = 1.0,
+            labels: Optional[Dict[str, str]] = None) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, labels: Optional[Dict[str, str]] = None) -> float:
+        return self._values.get(_labelset(labels), 0.0)
+
+    def items(self) -> List[Tuple[Dict[str, str], float]]:
+        """(labels dict, value) pairs for every labelset seen."""
+        return [(dict(key), value) for key, value in self._values.items()]
+
+    @property
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def merge(self, other: "Counter") -> "Counter":
+        """A new counter with both operands' counts (commutative)."""
+        merged = Counter(self.name, self.help_text or other.help_text)
+        for source in (self, other):
+            for key, value in source._values.items():
+                merged._values[key] = merged._values.get(key, 0.0) + value
+        return merged
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: Dict[LabelSet, float] = {}
+
+    def set(self, value: float, labels: Optional[Dict[str, str]] = None) -> None:
+        self._values[_labelset(labels)] = value
+
+    def add(self, amount: float, labels: Optional[Dict[str, str]] = None) -> None:
+        key = _labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, labels: Optional[Dict[str, str]] = None) -> float:
+        return self._values.get(_labelset(labels), 0.0)
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """A new gauge summing both operands (commutative by design)."""
+        merged = Gauge(self.name, self.help_text or other.help_text)
+        for source in (self, other):
+            for key, value in source._values.items():
+                merged._values[key] = merged._values.get(key, 0.0) + value
+        return merged
+
+
+class CounterAttribute:
+    """Descriptor: a registry Counter exposed as a plain numeric attribute.
+
+    Lets legacy ``stats.requests_served += 1`` call sites stay intact
+    while the value lives in a shared :class:`MetricsRegistry`. The
+    owner instance must provide ``registry`` (a MetricsRegistry) and
+    ``labels`` (a label dict or None). Assignment below the current
+    value is rejected — counters are monotone.
+    """
+
+    def __init__(self, metric_name: str, help_text: str = "",
+                 cast=int) -> None:
+        self.metric_name = metric_name
+        self.help_text = help_text
+        self.cast = cast
+        self.attr = metric_name
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.attr = name
+
+    def _counter(self, obj) -> Counter:
+        return obj.registry.counter(self.metric_name, self.help_text)
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return self.cast(self._counter(obj).value(obj.labels))
+
+    def __set__(self, obj, value) -> None:
+        counter = self._counter(obj)
+        delta = value - counter.value(obj.labels)
+        if delta < 0:
+            raise ValueError(
+                f"{self.attr} is counter-backed and can only increase"
+            )
+        if delta:
+            counter.inc(delta, labels=obj.labels)
+
+
+class _Series:
+    """One labelset's observations with a lazily maintained sort cache.
+
+    Observations only ever append, so the cached sorted copy is valid
+    exactly while its length matches the raw list — the check survives
+    callers that append to the raw list directly (the NIC/host stats
+    latency lists are such views).
+    """
+
+    __slots__ = ("values", "times", "_sorted", "_sorted_len")
+
+    def __init__(self, timed: bool) -> None:
+        self.values: List[float] = []
+        self.times: Optional[List[float]] = [] if timed else None
+        self._sorted: List[float] = []
+        self._sorted_len = 0
+
+    def sorted_values(self) -> List[float]:
+        if self._sorted_len != len(self.values):
+            self._sorted = sorted(self.values)
+            self._sorted_len = len(self._sorted)
+        return self._sorted
+
+
+class Histogram:
+    """Raw-observation histogram: percentiles, ECDF, windows, merge.
+
+    With a ``clock`` (a zero-argument callable returning sim time, as
+    wired by the registry) every observation is timestamped and
+    percentile/count queries accept ``since``/``until`` sim-time
+    windows — how the experiment drivers separate "during the fault
+    storm" from "after".
+    """
+
+    def __init__(self, name: str, help_text: str = "",
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.clock = clock
+        self._series: Dict[LabelSet, _Series] = {}
+
+    def _get(self, labels: Optional[Dict[str, str]]) -> Optional[_Series]:
+        return self._series.get(_labelset(labels))
+
+    def _get_or_create(self, labels: Optional[Dict[str, str]]) -> _Series:
+        key = _labelset(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _Series(timed=self.clock is not None)
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float,
+                labels: Optional[Dict[str, str]] = None) -> None:
+        series = self._get_or_create(labels)
+        series.values.append(value)
+        if series.times is not None:
+            series.times.append(self.clock())
+
+    def raw(self, labels: Optional[Dict[str, str]] = None) -> List[float]:
+        """The live observation list (a view, not a copy).
+
+        Exists so legacy ``stats.latencies.append(...)`` call sites can
+        be backed by the registry; appending through it bypasses the
+        timestamp column, which windowed queries tolerate (untimed
+        observations fall outside every window).
+        """
+        return self._get_or_create(labels).values
+
+    def observations(self, labels: Optional[Dict[str, str]] = None) -> List[float]:
+        series = self._get(labels)
+        return list(series.values) if series else []
+
+    def _windowed(self, series: _Series, since: Optional[float],
+                  until: Optional[float]) -> List[float]:
+        if since is None and until is None:
+            return series.values
+        if series.times is None:
+            return []
+        lo = -math.inf if since is None else since
+        hi = math.inf if until is None else until
+        times = series.times
+        return [value for index, value in enumerate(series.values)
+                if index < len(times) and lo <= times[index] <= hi]
+
+    def count(self, labels: Optional[Dict[str, str]] = None,
+              since: Optional[float] = None,
+              until: Optional[float] = None) -> int:
+        series = self._get(labels)
+        if series is None:
+            return 0
+        return len(self._windowed(series, since, until))
+
+    def mean(self, labels: Optional[Dict[str, str]] = None,
+             since: Optional[float] = None,
+             until: Optional[float] = None) -> float:
+        series = self._get(labels)
+        if series is None:
+            return math.nan
+        data = self._windowed(series, since, until)
+        return sum(data) / len(data) if data else math.nan
+
+    def percentile(self, q: float,
+                   labels: Optional[Dict[str, str]] = None,
+                   since: Optional[float] = None,
+                   until: Optional[float] = None) -> float:
+        """Nearest-rank percentile; q in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        series = self._get(labels)
+        if series is None:
+            return math.nan
+        if since is None and until is None:
+            return percentile_of(series.sorted_values(), q)
+        return percentile_of(sorted(self._windowed(series, since, until)), q)
+
+    def ecdf(self, labels: Optional[Dict[str, str]] = None
+             ) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs sorted by value."""
+        series = self._get(labels)
+        data = series.sorted_values() if series else []
+        n = len(data)
+        return [(value, (index + 1) / n) for index, value in enumerate(data)]
+
+    def fraction_below(self, threshold: float,
+                       labels: Optional[Dict[str, str]] = None) -> float:
+        series = self._get(labels)
+        data = series.sorted_values() if series else []
+        if not data:
+            return math.nan
+        return bisect.bisect_right(data, threshold) / len(data)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram with both operands' observations.
+
+        Commutative up to observation order: counts, percentiles, and
+        ECDFs of ``a.merge(b)`` and ``b.merge(a)`` are identical.
+        Timestamps are preserved only when both operands carry them.
+        """
+        timed = self.clock is not None and other.clock is not None
+        merged = Histogram(self.name, self.help_text or other.help_text,
+                           clock=self.clock if timed else None)
+        for source in (self, other):
+            for key, series in source._series.items():
+                target = merged._series.get(key)
+                if target is None:
+                    target = _Series(timed=timed)
+                    merged._series[key] = target
+                target.values.extend(series.values)
+                if target.times is not None:
+                    if series.times is not None and \
+                            len(series.times) == len(series.values):
+                        target.times.extend(series.times)
+                    else:
+                        target.times = None
+        return merged
+
+
+class MetricsRegistry:
+    """Named registry of metrics, as scraped by the monitoring engine.
+
+    ``clock`` (optional) timestamps histogram observations with
+    simulated time, enabling windowed queries; pass ``lambda: env.now``
+    or use :meth:`bind_clock` once an environment exists.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._clock = clock
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach a sim-time clock (affects histograms created after)."""
+        self._clock = clock
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help_text)
+
+    def histogram(self, name: str, help_text: str = "") -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        metric = Histogram(name, help_text, clock=self._clock)
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, name: str, cls, help_text: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        metric = cls(name, help_text)
+        self._metrics[name] = metric
+        return metric
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def scrape(self) -> Dict[str, object]:
+        """A snapshot view used by the monitoring engine / tests."""
+        return dict(self._metrics)

@@ -163,6 +163,11 @@ class RaftNode:
         self.voted_for = self.name
         self._votes = {self.name}
         self._reset_election_deadline()
+        if self.env.tracer is not None:
+            self.env.tracer.instant(
+                "raft.election", "raft", node=self.name,
+                tags={"term": self.current_term},
+            )
         message = RequestVote(
             term=self.current_term,
             candidate=self.name,
@@ -205,6 +210,11 @@ class RaftNode:
         if self.state == CANDIDATE and len(self._votes) >= majority:
             self.state = LEADER
             self.leader_hint = self.name
+            if self.env.tracer is not None:
+                self.env.tracer.instant(
+                    "raft.leader_elected", "raft", node=self.name,
+                    tags={"term": self.current_term},
+                )
             for peer in self.peers:
                 self.next_index[peer] = self.log.last_index + 1
                 self.match_index[peer] = 0

@@ -19,7 +19,7 @@ from .manager import (
     DeploymentRecord,
     WorkloadManager,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile_of
 from .monitor import (
     Alert,
     FailoverEvent,
@@ -70,5 +70,6 @@ __all__ = [
     "WorkloadManager",
     "closed_loop",
     "open_loop",
+    "percentile_of",
     "round_robin_closed_loop",
 ]

@@ -17,6 +17,7 @@ from ..host import HostServer
 from ..hw import SmartNIC, UniformRandomScheduler
 from ..kvcache import MemcachedServer
 from ..net import Network
+from ..obs import Tracer
 from ..raft import EtcdClient, EtcdCluster
 from ..sim import Environment, RngRegistry
 from .backends import BareMetalBackend, ContainerBackend, LambdaNicBackend
@@ -43,6 +44,7 @@ class Testbed:
         with_etcd: bool = False,
         with_monitoring: bool = False,
         with_failover: bool = False,
+        with_tracing: bool = False,
         gateway_kwargs: Optional[dict] = None,
         nic_kwargs: Optional[dict] = None,
         manager_kwargs: Optional[dict] = None,
@@ -53,7 +55,14 @@ class Testbed:
         self.env = Environment()
         self.rng = RngRegistry(seed=seed)
         self.network = Network(self.env)
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(clock=lambda: self.env.now)
+        #: Span tracer (None unless ``with_tracing``). Tracing never
+        #: schedules events or consumes randomness, so a traced run is
+        #: behaviourally identical to an untraced one.
+        self.tracer: Optional[Tracer] = None
+        if with_tracing:
+            self.tracer = Tracer(self.env)
+            self.env.set_tracer(self.tracer)
         self.worker_names = WORKERS[:n_workers]
         self.nic_kwargs = dict(nic_kwargs or {})
 
@@ -114,7 +123,7 @@ class Testbed:
         servers = []
         for name in self.worker_names:
             node = self.network.add_node(f"{name}-{suffix}")
-            servers.append(HostServer(self.env, node))
+            servers.append(HostServer(self.env, node, metrics=self.metrics))
         return servers
 
     def add_container_backend(self) -> ContainerBackend:
@@ -141,6 +150,7 @@ class Testbed:
             self._nics.append(SmartNIC(
                 self.env, node,
                 rng=self.rng.stream(f"nic:{name}"),
+                metrics=self.metrics,
                 **self.nic_kwargs,
             ))
         self.nic_runtime = LambdaNicRuntime(self.env, self._nics,

@@ -26,6 +26,7 @@ from ..net import (
     UDPHeader,
 )
 from ..net.network import Node
+from ..obs import Tracer
 from ..sim import Environment, Resource
 from .breaker import STATE_VALUES, CircuitBreaker
 from .metrics import MetricsRegistry
@@ -234,7 +235,15 @@ class Gateway:
         waiter = self.env.event()
         self._pending[request_id] = waiter
         self.probes_total.inc(labels={"target": target})
-        self._send_request(route, target, request_id, None, 64)
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "gateway.probe", "gateway", trace_id=tracer.new_trace(),
+                node=self.name,
+                tags={"workload": workload, "target": target},
+            )
+        self._send_request(route, target, request_id, None, 64, span=span)
         outcome = yield self.env.any_of(
             [waiter, self.env.timeout(timeout, value=None)]
         )
@@ -242,9 +251,13 @@ class Gateway:
         self._pending.pop(request_id, None)
         if response is not None:
             self.breaker_for(target).record_success(self.env.now)
+            if tracer is not None:
+                tracer.end(span, tags={"ok": 1})
             return True
         self.probe_failures_total.inc(labels={"target": target})
         self.breaker_for(target).record_failure(self.env.now)
+        if tracer is not None:
+            tracer.end(span, tags={"ok": 0})
         return False
 
     # -- datapath -----------------------------------------------------------
@@ -280,10 +293,24 @@ class Gateway:
         retries = 0
         start = None
         route = self.route_for(workload)
+        tracer = self.env.tracer
+        root = None
+        if tracer is not None:
+            root = tracer.begin(
+                "gateway.request", "gateway", trace_id=tracer.new_trace(),
+                node=self.name, tags={"workload": workload},
+            )
         while True:
             request_id = next(self._ids)
             waiter = self.env.event()
             self._pending[request_id] = waiter
+            proxy_span = None
+            if tracer is not None:
+                proxy_span = tracer.begin(
+                    "gateway.proxy", "gateway", trace_id=root.trace_id,
+                    parent=root, node=self.name,
+                    tags={"request_id": request_id},
+                )
             # Proxy (NAT / route lookup / header insertion) — serialised.
             with self._proxy.request() as slot:
                 yield slot
@@ -294,7 +321,10 @@ class Gateway:
                     # sends the request (paper §6.3.1), not including
                     # its own queued proxy time.
                     start = self.env.now
-                self._send_request(route, target, request_id, payload, size)
+                if tracer is not None:
+                    tracer.end(proxy_span, tags={"target": target})
+                self._send_request(route, target, request_id, payload, size,
+                                   span=root)
             outcome = yield self.env.any_of(
                 [waiter, self.env.timeout(self.request_timeout, value=None)]
             )
@@ -308,32 +338,55 @@ class Gateway:
                     latency, labels={"workload": workload}
                 )
                 self.requests_total.inc(labels={"workload": workload})
+                if tracer is not None:
+                    tracer.end(root, tags={"ok": 1, "target": target,
+                                           "retries": retries})
                 return RequestOutcome(workload, latency, response, True, retries)
             self.breaker_for(target).record_failure(self.env.now)
             retries += 1
             self.retries_total.inc(labels={"workload": workload})
+            if tracer is not None:
+                tracer.instant(
+                    "gateway.timeout", "gateway", trace_id=root.trace_id,
+                    parent=root, node=self.name,
+                    tags={"target": target, "attempt": retries},
+                )
             if retries > self.max_retries:
                 self.failures_total.inc(labels={"workload": workload})
+                if tracer is not None:
+                    tracer.end(root, tags={"ok": 0, "retries": retries})
                 raise GatewayTimeout(
                     f"request to {workload!r} unanswered after {retries - 1} retries"
                 )
+            backoff_span = None
+            if tracer is not None:
+                backoff_span = tracer.begin(
+                    "gateway.backoff", "gateway", trace_id=root.trace_id,
+                    parent=root, node=self.name, tags={"attempt": retries},
+                )
             yield self.env.timeout(self._backoff_delay(retries))
+            if tracer is not None:
+                tracer.end(backoff_span)
             # Re-read the route: a failover may have re-pointed the
             # workload (new targets, new wid) while we were backing off.
             try:
                 route = self.route_for(workload)
             except KeyError:
                 self.failures_total.inc(labels={"workload": workload})
+                if tracer is not None:
+                    tracer.end(root, tags={"ok": 0, "retries": retries,
+                                           "undeployed": 1})
                 raise GatewayTimeout(
                     f"workload {workload!r} was undeployed mid-request"
                 ) from None
 
     def _send_request(self, route: Route, target: str, request_id: int,
-                      payload: Any, size: int) -> None:
+                      payload: Any, size: int, span=None) -> None:
         if route.rdma_qp is not None:
-            self._send_rdma(route, target, request_id, payload, size)
+            self._send_rdma(route, target, request_id, payload, size,
+                            span=span)
             return
-        self.node.send(Packet(
+        packet = Packet(
             src=self.name,
             dst=target,
             headers=HeaderStack([
@@ -344,10 +397,13 @@ class Gateway:
             ]),
             payload=payload,
             payload_bytes=size,
-        ))
+        )
+        if span is not None:
+            Tracer.stamp_packet(packet, span)
+        self.node.send(packet)
 
     def _send_rdma(self, route: Route, target: str, request_id: int,
-                   payload: Any, size: int) -> None:
+                   payload: Any, size: int, span=None) -> None:
         """Segment a large payload into RDMA writes (paper D3)."""
         segment = self.rdma_segment_bytes
         total = max(1, (size + segment - 1) // segment)
@@ -356,7 +412,7 @@ class Gateway:
             chunk_size = min(segment, size - seq * segment)
             chunk = (bytes(blob[seq * segment: seq * segment + chunk_size])
                      if blob is not None else None)
-            self.node.send(Packet(
+            packet = Packet(
                 src=self.name,
                 dst=target,
                 headers=HeaderStack([
@@ -371,4 +427,7 @@ class Gateway:
                 ]),
                 payload=chunk,
                 payload_bytes=chunk_size,
-            ))
+            )
+            if span is not None:
+                Tracer.stamp_packet(packet, span)
+            self.node.send(packet)

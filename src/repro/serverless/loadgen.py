@@ -13,6 +13,7 @@ from typing import Any, List, Optional
 
 from ..sim import Environment, exponential
 from .gateway import Gateway, GatewayTimeout
+from .metrics import percentile_of
 
 
 @dataclass
@@ -43,13 +44,7 @@ class LoadResult:
                 if self.latencies else float("nan"))
 
     def percentile(self, q: float) -> float:
-        import math
-
-        data = sorted(self.latencies)
-        if not data:
-            return float("nan")
-        rank = max(0, min(len(data) - 1, math.ceil(q / 100 * len(data)) - 1))
-        return data[rank]
+        return percentile_of(sorted(self.latencies), q)
 
 
 def closed_loop(

@@ -1,145 +1,31 @@
 """A Prometheus-style metrics registry (the paper's monitoring engine).
 
-Counters, gauges, and histograms with label support and percentile
-queries. The gateway and experiment harness record every request here,
-and the ECDF/percentile data for the figures comes straight out of the
-histograms.
+The canonical implementation lives in :mod:`repro.obs.metrics`; this
+module re-exports it so serverless-layer consumers (gateway, manager,
+monitoring engine) keep their import surface. Compared to the old
+in-module copy, histograms maintain a sorted cache instead of
+re-sorting the raw observation list on every percentile call, support
+sim-time-windowed queries, and merge commutatively — and the
+nearest-rank percentile logic exists exactly once
+(:func:`repro.obs.metrics.percentile_of`).
 """
 
 from __future__ import annotations
 
-import bisect
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from ..obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelSet,
+    MetricsRegistry,
+    percentile_of,
+)
 
-LabelSet = Tuple[Tuple[str, str], ...]
-
-
-def _labelset(labels: Optional[Dict[str, str]]) -> LabelSet:
-    return tuple(sorted((labels or {}).items()))
-
-
-class Counter:
-    """Monotonically increasing count, optionally labelled."""
-
-    def __init__(self, name: str, help_text: str = "") -> None:
-        self.name = name
-        self.help_text = help_text
-        self._values: Dict[LabelSet, float] = {}
-
-    def inc(self, amount: float = 1.0,
-            labels: Optional[Dict[str, str]] = None) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        key = _labelset(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
-
-    def value(self, labels: Optional[Dict[str, str]] = None) -> float:
-        return self._values.get(_labelset(labels), 0.0)
-
-    @property
-    def total(self) -> float:
-        return sum(self._values.values())
-
-
-class Gauge:
-    """A value that can go up and down."""
-
-    def __init__(self, name: str, help_text: str = "") -> None:
-        self.name = name
-        self.help_text = help_text
-        self._values: Dict[LabelSet, float] = {}
-
-    def set(self, value: float, labels: Optional[Dict[str, str]] = None) -> None:
-        self._values[_labelset(labels)] = value
-
-    def add(self, amount: float, labels: Optional[Dict[str, str]] = None) -> None:
-        key = _labelset(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
-
-    def value(self, labels: Optional[Dict[str, str]] = None) -> float:
-        return self._values.get(_labelset(labels), 0.0)
-
-
-class Histogram:
-    """Stores raw observations; supports percentiles and ECDF export."""
-
-    def __init__(self, name: str, help_text: str = "") -> None:
-        self.name = name
-        self.help_text = help_text
-        self._observations: Dict[LabelSet, List[float]] = {}
-
-    def observe(self, value: float,
-                labels: Optional[Dict[str, str]] = None) -> None:
-        self._observations.setdefault(_labelset(labels), []).append(value)
-
-    def observations(self, labels: Optional[Dict[str, str]] = None) -> List[float]:
-        return list(self._observations.get(_labelset(labels), []))
-
-    def count(self, labels: Optional[Dict[str, str]] = None) -> int:
-        return len(self._observations.get(_labelset(labels), []))
-
-    def mean(self, labels: Optional[Dict[str, str]] = None) -> float:
-        data = self._observations.get(_labelset(labels), [])
-        return sum(data) / len(data) if data else math.nan
-
-    def percentile(self, q: float,
-                   labels: Optional[Dict[str, str]] = None) -> float:
-        """q in [0, 100], nearest-rank."""
-        data = sorted(self._observations.get(_labelset(labels), []))
-        if not data:
-            return math.nan
-        if not 0 <= q <= 100:
-            raise ValueError("percentile must be within [0, 100]")
-        rank = max(0, min(len(data) - 1, math.ceil(q / 100 * len(data)) - 1))
-        return data[rank]
-
-    def ecdf(self, labels: Optional[Dict[str, str]] = None
-             ) -> List[Tuple[float, float]]:
-        """(value, cumulative fraction) pairs sorted by value."""
-        data = sorted(self._observations.get(_labelset(labels), []))
-        n = len(data)
-        return [(value, (index + 1) / n) for index, value in enumerate(data)]
-
-    def fraction_below(self, threshold: float,
-                       labels: Optional[Dict[str, str]] = None) -> float:
-        data = sorted(self._observations.get(_labelset(labels), []))
-        if not data:
-            return math.nan
-        return bisect.bisect_right(data, threshold) / len(data)
-
-
-class MetricsRegistry:
-    """Named registry of metrics, as scraped by the monitoring engine."""
-
-    def __init__(self) -> None:
-        self._metrics: Dict[str, object] = {}
-
-    def counter(self, name: str, help_text: str = "") -> Counter:
-        return self._get_or_create(name, Counter, help_text)
-
-    def gauge(self, name: str, help_text: str = "") -> Gauge:
-        return self._get_or_create(name, Gauge, help_text)
-
-    def histogram(self, name: str, help_text: str = "") -> Histogram:
-        return self._get_or_create(name, Histogram, help_text)
-
-    def _get_or_create(self, name: str, cls, help_text: str):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise TypeError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}"
-                )
-            return existing
-        metric = cls(name, help_text)
-        self._metrics[name] = metric
-        return metric
-
-    def names(self) -> List[str]:
-        return sorted(self._metrics)
-
-    def scrape(self) -> Dict[str, object]:
-        """A snapshot view used by the monitoring engine / tests."""
-        return dict(self._metrics)
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelSet",
+    "MetricsRegistry",
+    "percentile_of",
+]

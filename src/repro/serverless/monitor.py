@@ -297,6 +297,11 @@ class HealthMonitor:
             manager.reroute(workload, live)
             event.completed_at = self.env.now
             self.events.append(event)
+            if self.env.tracer is not None:
+                self.env.tracer.instant(
+                    "monitor.failover", "failover",
+                    tags={"workload": workload, "kind": kind},
+                )
             return event
 
         if self.probe_ejected:
@@ -339,6 +344,11 @@ class HealthMonitor:
             if ok:
                 event.completed_at = self.env.now
                 self.events.append(event)
+                if self.env.tracer is not None:
+                    self.env.tracer.instant(
+                        "monitor.failover", "failover",
+                        tags={"workload": workload, "kind": kind},
+                    )
 
         self.env.process(runner())
         return event

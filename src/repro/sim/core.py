@@ -266,6 +266,17 @@ class Environment:
         self._queue: List[tuple] = []
         self._eid = 0
         self._active_process = None
+        #: Observability hook: a :class:`repro.obs.Tracer` reading this
+        #: clock, or None (the default — instrumented components guard
+        #: with one attribute load + None check, so tracing is
+        #: zero-cost when disabled). The tracer only *reads* ``now``;
+        #: it never schedules events, so enabling it cannot perturb
+        #: the simulation.
+        self.tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Install (or, with ``None``, remove) the span tracer."""
+        self.tracer = tracer
 
     @property
     def now(self) -> float:

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..net import HeaderStack, LambdaHeader, Packet, RpcHeader, UDPHeader
 from ..net.network import Node
+from ..obs import Tracer
 from ..sim import Environment
 
 
@@ -65,6 +66,14 @@ class RpcEndpoint:
     def _call(self, dst, method, key, payload, payload_bytes, wid, build):
         request_id = next(self._ids)
         attempt = 0
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "rpc.call", "rpc", trace_id=tracer.new_trace(),
+                node=self.node.name,
+                tags={"dst": dst, "method": method},
+            )
         while True:
             attempt += 1
             waiter = self.env.event()
@@ -79,15 +88,21 @@ class RpcEndpoint:
                 payload=payload,
                 payload_bytes=payload_bytes,
             )
+            if span is not None:
+                Tracer.stamp_packet(packet, span)
             self.node.send(packet)
             outcome = yield self.env.any_of(
                 [waiter, self.env.timeout(self.timeout, value=None)]
             )
             if waiter in outcome:
+                if tracer is not None:
+                    tracer.end(span, tags={"ok": 1, "attempts": attempt})
                 return waiter.value
             self._waiting.pop(request_id, None)
             self.timeouts += 1
             if attempt > self.retries:
+                if tracer is not None:
+                    tracer.end(span, tags={"ok": 0, "attempts": attempt})
                 raise RpcTimeout(
                     f"no response from {dst!r} after {self.retries} retries"
                 )

@@ -1,0 +1,17 @@
+"""Shared pytest configuration: the golden-trace update flag."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current run instead "
+             "of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should regenerate golden files."""
+    return request.config.getoption("--update-goldens")

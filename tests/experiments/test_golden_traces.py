@@ -1,0 +1,129 @@
+"""Golden-trace regression tests.
+
+Each traced experiment is run at a reduced, fixed scale and the
+resulting span trees are summarised (deterministic sha256 digest,
+span count, and name/edge shape) per run label. The summaries are
+compared against ``tests/goldens/*.json``; any change to the
+simulation's event interleaving, the instrumentation points, or the
+tracer itself shows up as a digest change, and the shape comparison
+says *what* moved.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden_traces.py \
+        --update-goldens
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, fig6_latency, fig7_throughput
+from repro.experiments.fault_recovery import run_storm
+from repro.obs import (
+    TraceCollection,
+    check_invariants,
+    coverage_of,
+    roots,
+    spans_by_trace,
+    trace_digest,
+    tree_shape,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
+
+#: Reduced-scale configs: big enough to exercise every span kind,
+#: small enough that each golden regenerates in about a second.
+FIG6_CONFIG = ExperimentConfig(latency_requests=6, image_latency_requests=2,
+                               trace=True)
+FIG7_CONFIG = ExperimentConfig(throughput_requests=6,
+                               image_throughput_requests=2,
+                               concurrencies=(1, 4), trace=True)
+STORM_RATE_RPS = 2.0
+
+
+def _summarise(collection: TraceCollection) -> dict:
+    runs = {}
+    for label, spans in collection.runs:
+        runs[label] = {
+            "digest": trace_digest(spans),
+            "n_spans": len(spans),
+            "shape": tree_shape(spans),
+        }
+    return {"runs": runs}
+
+
+def _shape_diff(expected: dict, actual: dict) -> str:
+    lines = []
+    for key in sorted(set(expected) | set(actual)):
+        if expected.get(key) != actual.get(key):
+            lines.append(f"    {key}: golden={expected.get(key, 0)} "
+                         f"actual={actual.get(key, 0)}")
+    return "\n".join(lines) or "    (shapes identical; only timings moved)"
+
+
+def _check_golden(name: str, actual: dict, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        pytest.skip(f"golden updated: {path}")
+    if not path.exists():
+        pytest.fail(f"missing golden {path}; run with --update-goldens")
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert sorted(expected["runs"]) == sorted(actual["runs"]), \
+        "run labels changed; regenerate with --update-goldens if intended"
+    problems = []
+    for label, want in expected["runs"].items():
+        got = actual["runs"][label]
+        if want["digest"] == got["digest"]:
+            continue
+        problems.append(
+            f"  {label}: digest changed "
+            f"(spans {want['n_spans']} -> {got['n_spans']})\n"
+            + _shape_diff(want["shape"], got["shape"])
+        )
+    if problems:
+        pytest.fail(
+            f"golden trace {name!r} drifted; if the change is intentional "
+            f"rerun with --update-goldens:\n" + "\n".join(problems)
+        )
+
+
+def test_fig6_golden_trace(update_goldens):
+    report = fig6_latency.run(FIG6_CONFIG)
+    _check_golden("fig6_trace", _summarise(report.trace), update_goldens)
+
+
+def test_fig7_golden_trace(update_goldens):
+    report = fig7_throughput.run(FIG7_CONFIG)
+    _check_golden("fig7_trace", _summarise(report.trace), update_goldens)
+
+
+def test_fault_recovery_golden_trace(update_goldens):
+    storm = run_storm(seed=42, rate_rps=STORM_RATE_RPS, trace=True)
+    collection = TraceCollection()
+    collection.add("storm", storm["testbed"].tracer)
+    _check_golden("fault_recovery_trace", _summarise(collection),
+                  update_goldens)
+
+
+def test_fig6_traces_cover_request_time():
+    """Acceptance criterion: spans account for >= 95% of every
+    request's end-to-end time, and clean runs violate no invariants."""
+    report = fig6_latency.run(FIG6_CONFIG)
+    checked = 0
+    for label in report.trace.labels():
+        spans = report.trace.spans_for(label)
+        assert check_invariants(spans) == [], label
+        by_trace = spans_by_trace(spans)
+        for trace_spans in by_trace.values():
+            for root in roots(trace_spans):
+                if root.name != "gateway.request":
+                    continue
+                assert coverage_of(root, trace_spans) >= 0.95, \
+                    f"{label}: trace {root.trace_id} has unaccounted time"
+                checked += 1
+    assert checked >= 9 * 2  # every cell contributed requests

@@ -1,0 +1,133 @@
+"""Unit tests for the Chrome trace / JSONL exporters."""
+
+import json
+
+from repro.obs import (
+    TraceCollection,
+    Tracer,
+    chrome_events,
+    span_records,
+    write_chrome_trace,
+)
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _sample_tracer():
+    env = FakeEnv()
+    tracer = Tracer(env)
+    root = tracer.begin("gateway.request", "gateway", trace_id=1, node="m1",
+                        tags={"workload": "web_server"})
+    child = tracer.begin("net.link", "net", trace_id=1, parent=root,
+                         node="m1", tags={"bytes": 128})
+    env.now = 0.5
+    tracer.end(child)
+    tracer.instant("fault.injected", "fault", node="m2-nic",
+                   tags={"action": "kill_nic"})
+    env.now = 1.0
+    tracer.end(root, tags={"ok": 1})
+    tracer.begin("never.finished", trace_id=1, parent=root)
+    return tracer
+
+
+def test_chrome_events_shapes():
+    events = chrome_events(_sample_tracer().spans)
+    by_phase = {}
+    for event in events:
+        by_phase.setdefault(event["ph"], []).append(event)
+    # One process_name metadata record per node (the open span's empty
+    # node shows up as "(none)").
+    assert {e["args"]["name"] for e in by_phase["M"]} == {
+        "m1", "m2-nic", "(none)"}
+    # Two finished intervals; the open span is skipped.
+    assert {event["name"] for event in by_phase["X"]} == {
+        "gateway.request", "net.link"}
+    # The zero-duration fault becomes an instant event.
+    (instant,) = by_phase["i"]
+    assert instant["name"] == "fault.injected"
+    assert instant["s"] == "t"
+    # Sim seconds scale to microseconds and args carry tags + ids.
+    (link,) = [e for e in by_phase["X"] if e["name"] == "net.link"]
+    assert link["dur"] == 0.5 * 1e6
+    assert link["args"]["bytes"] == 128
+    assert "parent_id" in link["args"] and "span_id" in link["args"]
+
+
+def test_chrome_events_pid_offset_and_label():
+    events = chrome_events(_sample_tracer().spans, pid_offset=1000,
+                           label="runA")
+    metas = [e for e in events if e["ph"] == "M"]
+    assert all(e["pid"] > 1000 for e in events)
+    assert all(e["args"]["name"].startswith("runA:") for e in metas)
+
+
+def test_span_records_skips_open_spans_and_labels_runs():
+    records = span_records(_sample_tracer().spans, label="cell1")
+    assert {record["name"] for record in records} == {
+        "gateway.request", "net.link", "fault.injected"}
+    assert all(record["run"] == "cell1" for record in records)
+    unlabelled = span_records(_sample_tracer().spans)
+    assert all("run" not in record for record in unlabelled)
+
+
+def test_non_jsonable_tags_are_repred():
+    tracer = _sample_tracer()
+    tracer.spans[0].tags["obj"] = {"nested": 1}
+    records = span_records(tracer.spans)
+    (root,) = [r for r in records if r["name"] == "gateway.request"]
+    assert root["tags"]["obj"] == repr({"nested": 1})
+    json.dumps(records)  # must be serialisable end to end
+
+
+def test_collection_accessors():
+    collection = TraceCollection()
+    tracer = _sample_tracer()
+    collection.add("a", tracer)
+    collection.add("b", tracer.spans[:2])
+    assert collection.labels() == ["a", "b"]
+    assert collection.n_spans == len(tracer.spans) + 2
+    assert collection.spans_for("b") == tracer.spans[:2]
+    try:
+        collection.spans_for("missing")
+    except KeyError:
+        pass
+    else:
+        raise AssertionError("expected KeyError")
+
+
+def test_collection_chrome_keeps_runs_apart(tmp_path):
+    collection = TraceCollection()
+    collection.add("a", _sample_tracer())
+    collection.add("b", _sample_tracer())
+    data = collection.to_chrome()
+    pids_a = {e["pid"] for e in data["traceEvents"]
+              if e["pid"] <= TraceCollection.PID_STRIDE}
+    pids_b = {e["pid"] for e in data["traceEvents"]
+              if e["pid"] > TraceCollection.PID_STRIDE}
+    assert pids_a and pids_b and not (pids_a & pids_b)
+
+    path = tmp_path / "trace.json"
+    collection.write_chrome(str(path))
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == len(data["traceEvents"])
+
+
+def test_collection_jsonl_roundtrip(tmp_path):
+    collection = TraceCollection()
+    collection.add("only", _sample_tracer())
+    path = tmp_path / "trace.spans.jsonl"
+    collection.write_jsonl(str(path))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(records) == 3  # open span skipped
+    assert {record["run"] for record in records} == {"only"}
+
+
+def test_write_chrome_trace_single_shot(tmp_path):
+    path = tmp_path / "one.json"
+    write_chrome_trace(_sample_tracer().spans, str(path))
+    loaded = json.loads(path.read_text())
+    assert any(event["name"] == "gateway.request"
+               for event in loaded["traceEvents"])

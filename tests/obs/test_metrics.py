@@ -1,0 +1,269 @@
+"""Unit tests for the typed metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    CounterAttribute,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile_of,
+)
+
+
+# -- percentile_of (the single percentile implementation) --------------------
+
+
+def test_percentile_of_nearest_rank():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile_of(data, 0) == 1.0
+    assert percentile_of(data, 50) == 2.0
+    assert percentile_of(data, 75) == 3.0
+    assert percentile_of(data, 100) == 4.0
+
+
+def test_percentile_of_empty_is_nan_and_bad_q_raises():
+    assert math.isnan(percentile_of([], 50))
+    with pytest.raises(ValueError):
+        percentile_of([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile_of([1.0], -1)
+
+
+# -- counters ---------------------------------------------------------------
+
+
+def test_counter_inc_labels_total_items():
+    counter = Counter("requests_total")
+    counter.inc()
+    counter.inc(2, labels={"node": "m2"})
+    counter.inc(3, labels={"node": "m3"})
+    assert counter.value() == 1
+    assert counter.value({"node": "m2"}) == 2
+    assert counter.total == 6
+    assert sorted((labels.get("node", ""), value)
+                  for labels, value in counter.items()) == [
+        ("", 1.0), ("m2", 2.0), ("m3", 3.0)]
+
+
+def test_counter_rejects_negative_increment():
+    counter = Counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_merge_commutative():
+    a, b = Counter("c"), Counter("c")
+    a.inc(1)
+    a.inc(5, labels={"x": "1"})
+    b.inc(2, labels={"x": "1"})
+    b.inc(7, labels={"y": "2"})
+    ab, ba = a.merge(b), b.merge(a)
+    for labels in (None, {"x": "1"}, {"y": "2"}):
+        assert ab.value(labels) == ba.value(labels)
+    assert ab.total == ba.total == 15
+
+
+# -- gauges -----------------------------------------------------------------
+
+
+def test_gauge_set_add_and_merge():
+    gauge = Gauge("queue_depth")
+    gauge.set(5)
+    gauge.add(-2)
+    assert gauge.value() == 3
+    other = Gauge("queue_depth")
+    other.set(4)
+    assert gauge.merge(other).value() == other.merge(gauge).value() == 7
+
+
+# -- CounterAttribute descriptor --------------------------------------------
+
+
+class _Stats:
+    served = CounterAttribute("served_total", "requests served")
+    busy = CounterAttribute("busy_seconds_total", cast=float)
+
+    def __init__(self, registry=None, node=""):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = {"node": node} if node else None
+
+
+def test_counter_attribute_reads_and_increments():
+    stats = _Stats()
+    assert stats.served == 0 and isinstance(stats.served, int)
+    stats.served += 1
+    stats.served += 2
+    assert stats.served == 3
+    stats.busy += 0.25
+    assert stats.busy == pytest.approx(0.25)
+    assert isinstance(stats.busy, float)
+
+
+def test_counter_attribute_rejects_decrease():
+    stats = _Stats()
+    stats.served = 5
+    with pytest.raises(ValueError):
+        stats.served = 4
+    assert stats.served == 5
+
+
+def test_counter_attribute_shares_registry_with_labels():
+    registry = MetricsRegistry()
+    a = _Stats(registry, node="m2")
+    b = _Stats(registry, node="m3")
+    a.served += 2
+    b.served += 3
+    assert a.served == 2 and b.served == 3
+    assert registry.counter("served_total").total == 5
+
+
+def test_counter_attribute_class_access_returns_descriptor():
+    assert isinstance(_Stats.served, CounterAttribute)
+
+
+# -- histograms -------------------------------------------------------------
+
+
+def test_histogram_basic_queries():
+    hist = Histogram("latency_seconds")
+    for value in [0.4, 0.1, 0.3, 0.2]:
+        hist.observe(value)
+    assert hist.count() == 4
+    assert hist.mean() == pytest.approx(0.25)
+    assert hist.percentile(50) == 0.2
+    assert hist.percentile(100) == 0.4
+    assert hist.ecdf() == [(0.1, 0.25), (0.2, 0.5), (0.3, 0.75), (0.4, 1.0)]
+    assert hist.fraction_below(0.25) == 0.5
+    assert hist.observations() == [0.4, 0.1, 0.3, 0.2]
+
+
+def test_histogram_empty_and_bad_q():
+    hist = Histogram("h")
+    assert hist.count() == 0
+    assert math.isnan(hist.mean())
+    assert math.isnan(hist.percentile(99))
+    assert math.isnan(hist.fraction_below(1.0))
+    with pytest.raises(ValueError):
+        hist.percentile(120)
+
+
+def test_histogram_raw_is_a_live_view():
+    """Legacy ``stats.latencies.append(...)`` sites flow into queries."""
+    hist = Histogram("h")
+    raw = hist.raw()
+    raw.append(3.0)
+    raw.append(1.0)
+    assert hist.percentile(50) == 1.0  # sort cache rebuilt on demand
+    raw.append(0.5)
+    assert hist.percentile(0) == 0.5  # cache invalidated by length change
+    assert hist.count() == 3
+
+
+def test_histogram_labelled_series_are_independent():
+    hist = Histogram("h")
+    hist.observe(1.0, labels={"node": "m2"})
+    hist.observe(9.0, labels={"node": "m3"})
+    assert hist.percentile(50, labels={"node": "m2"}) == 1.0
+    assert hist.percentile(50, labels={"node": "m3"}) == 9.0
+    assert hist.count() == 0  # unlabelled series untouched
+
+
+def test_histogram_windowed_queries_use_sim_time():
+    clock = {"now": 0.0}
+    hist = Histogram("h", clock=lambda: clock["now"])
+    for now, value in [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]:
+        clock["now"] = now
+        hist.observe(value)
+    assert hist.count(since=2.0) == 2
+    assert hist.count(until=1.5) == 1
+    assert hist.mean(since=2.0, until=3.0) == pytest.approx(25.0)
+    assert hist.percentile(100, until=2.0) == 20.0
+    # Raw appends carry no timestamp: outside every window, inside none.
+    hist.raw().append(40.0)
+    assert hist.count() == 4
+    assert hist.count(since=0.0) == 3
+
+
+def test_histogram_windows_without_clock_are_empty():
+    hist = Histogram("h")
+    hist.observe(1.0)
+    assert hist.count(since=0.0) == 0
+    assert math.isnan(hist.percentile(50, since=0.0))
+
+
+def test_histogram_merge_commutative():
+    a, b = Histogram("h"), Histogram("h")
+    for value in [1.0, 5.0, 3.0]:
+        a.observe(value)
+    for value in [2.0, 4.0]:
+        b.observe(value, labels={"node": "m2"})
+        b.observe(value)
+    ab, ba = a.merge(b), b.merge(a)
+    for labels in (None, {"node": "m2"}):
+        assert ab.count(labels) == ba.count(labels)
+        for q in (0, 25, 50, 75, 100):
+            assert ab.percentile(q, labels) == ba.percentile(q, labels)
+    assert ab.ecdf() == ba.ecdf()
+
+
+def test_histogram_merge_drops_timestamps_unless_both_timed():
+    clock = {"now": 1.0}
+    timed = Histogram("h", clock=lambda: clock["now"])
+    timed.observe(1.0)
+    untimed = Histogram("h")
+    untimed.observe(2.0)
+    merged = timed.merge(untimed)
+    assert merged.count() == 2
+    assert merged.count(since=0.0) == 0  # window support lost
+
+    other = Histogram("h", clock=lambda: clock["now"])
+    other.observe(3.0)
+    both = timed.merge(other)
+    assert both.count(since=0.0) == 2
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_registry_returns_same_instance_and_checks_types():
+    registry = MetricsRegistry()
+    counter = registry.counter("x_total", "help")
+    assert registry.counter("x_total") is counter
+    with pytest.raises(TypeError):
+        registry.gauge("x_total")
+    with pytest.raises(TypeError):
+        registry.histogram("x_total")
+    registry.histogram("h")
+    with pytest.raises(TypeError):
+        registry.counter("h")
+
+
+def test_registry_clock_wires_histograms():
+    clock = {"now": 7.0}
+    registry = MetricsRegistry(clock=lambda: clock["now"])
+    hist = registry.histogram("latency")
+    hist.observe(1.0)
+    assert hist.count(since=7.0) == 1
+
+    late = MetricsRegistry()
+    before = late.histogram("a")
+    late.bind_clock(lambda: clock["now"])
+    after = late.histogram("b")
+    before.observe(1.0)
+    after.observe(1.0)
+    assert before.count(since=0.0) == 0  # created before the clock
+    assert after.count(since=0.0) == 1
+
+
+def test_registry_names_and_scrape():
+    registry = MetricsRegistry()
+    registry.counter("b_total")
+    registry.gauge("a_depth")
+    assert registry.names() == ["a_depth", "b_total"]
+    snapshot = registry.scrape()
+    assert set(snapshot) == {"a_depth", "b_total"}
+    assert isinstance(snapshot["b_total"], Counter)

@@ -1,0 +1,187 @@
+"""Property-based tests for the observability layer.
+
+Three families: metric algebra (percentile monotonicity, counter
+monotonicity, merge commutativity) over fuzzed observation streams,
+span-tree structure (invariants hold for any tracer usage that nests
+properly), and end-to-end span invariants under fuzzed testbed
+workloads (random seeds and request mixes through the real gateway ->
+NIC stack).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Counter,
+    Histogram,
+    Tracer,
+    check_invariants,
+    coverage_of,
+    roots,
+    spans_by_trace,
+    trace_digest,
+)
+from repro.serverless import Testbed, closed_loop
+from repro.workloads import standard_workloads
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+# -- metric algebra ----------------------------------------------------------
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=200),
+       qs=st.lists(st.floats(min_value=0, max_value=100), min_size=2,
+                   max_size=10))
+def test_histogram_percentiles_are_monotone_in_q(values, qs):
+    hist = Histogram("h")
+    for value in values:
+        hist.observe(value)
+    qs = sorted(qs)
+    results = [hist.percentile(q) for q in qs]
+    assert all(lo <= hi for lo, hi in zip(results, results[1:]))
+    assert hist.percentile(0) == min(values)
+    assert hist.percentile(100) == max(values)
+
+
+@given(increments=st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+              st.sampled_from(["", "m2", "m3"])),
+    max_size=100))
+def test_counter_value_never_decreases(increments):
+    counter = Counter("c")
+    previous_total = 0.0
+    previous = {"": 0.0, "m2": 0.0, "m3": 0.0}
+    for amount, node in increments:
+        labels = {"node": node} if node else None
+        counter.inc(amount, labels=labels)
+        assert counter.value(labels) >= previous[node]
+        assert counter.total >= previous_total
+        previous[node] = counter.value(labels)
+        previous_total = counter.total
+
+
+@given(a_incs=st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+              st.sampled_from(["", "x"])), max_size=50),
+    b_incs=st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+              st.sampled_from(["", "x", "y"])), max_size=50))
+def test_counter_merge_commutative(a_incs, b_incs):
+    a, b = Counter("c"), Counter("c")
+    for amount, label in a_incs:
+        a.inc(amount, labels={"l": label} if label else None)
+    for amount, label in b_incs:
+        b.inc(amount, labels={"l": label} if label else None)
+    ab, ba = a.merge(b), b.merge(a)
+    for label in ("", "x", "y"):
+        labels = {"l": label} if label else None
+        assert math.isclose(ab.value(labels), ba.value(labels),
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(a_values=st.lists(finite_floats, max_size=100),
+       b_values=st.lists(finite_floats, max_size=100))
+def test_histogram_merge_commutative(a_values, b_values):
+    a, b = Histogram("h"), Histogram("h")
+    for value in a_values:
+        a.observe(value)
+    for value in b_values:
+        b.observe(value)
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.count() == ba.count() == len(a_values) + len(b_values)
+    for q in (0, 10, 50, 90, 99, 100):
+        lhs, rhs = ab.percentile(q), ba.percentile(q)
+        assert (math.isnan(lhs) and math.isnan(rhs)) or lhs == rhs
+    assert ab.ecdf() == ba.ecdf()
+
+
+# -- span-tree structure -----------------------------------------------------
+
+
+class _FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+@st.composite
+def nesting_scripts(draw):
+    """Random well-nested begin/advance/end scripts (Dyck-like words)."""
+    ops = []
+    depth = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0 or depth == 0:
+            ops.append(("begin", draw(st.sampled_from("abcd"))))
+            depth += 1
+        elif choice == 1:
+            ops.append(("advance",
+                        draw(st.floats(min_value=0, max_value=10,
+                                       allow_nan=False))))
+        else:
+            ops.append(("end", None))
+            depth -= 1
+    for _ in range(depth):
+        ops.append(("end", None))
+    return ops
+
+
+@given(script=nesting_scripts())
+def test_properly_nested_usage_never_violates_invariants(script):
+    env = _FakeEnv()
+    tracer = Tracer(env)
+    tid = tracer.new_trace()
+    stack = []
+    for op, arg in script:
+        if op == "begin":
+            parent = stack[-1] if stack else None
+            stack.append(tracer.begin(arg, trace_id=tid, parent=parent))
+        elif op == "advance":
+            env.now += arg
+        else:
+            tracer.end(stack.pop())
+    assert check_invariants(tracer.spans) == []
+    for root in roots(tracer.spans):
+        assert 0.0 <= coverage_of(root, tracer.spans) <= 1.0 + 1e-9
+    assert trace_digest(tracer.spans) == trace_digest(tracer.spans)
+
+
+# -- end-to-end: span invariants under fuzzed workloads ----------------------
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       workload=st.sampled_from(["web_server", "kv_client"]),
+       n_requests=st.integers(min_value=1, max_value=6),
+       backend=st.sampled_from(["lambda-nic", "bare-metal"]))
+def test_traced_workload_spans_are_well_formed(seed, workload, n_requests,
+                                               backend):
+    tb = Testbed(seed=seed, n_workers=1, with_tracing=True)
+    tb.add_backend(backend)
+    spec = standard_workloads()[workload]
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, backend)
+        result = yield closed_loop(
+            tb.env, tb.gateway, spec.name,
+            n_requests=n_requests, concurrency=1,
+            payload_bytes=spec.request_bytes if spec.uses_rdma else None,
+        )
+        return result
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    load = process.value
+    assert load.completed == n_requests
+
+    spans = tb.tracer.spans
+    assert check_invariants(spans) == []
+    request_roots = [root for root in roots(spans)
+                     if root.name == "gateway.request"]
+    assert len(request_roots) == n_requests
+    by_trace = spans_by_trace(spans)
+    for root in request_roots:
+        assert coverage_of(root, by_trace[root.trace_id]) >= 0.95
