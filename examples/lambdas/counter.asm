@@ -1,0 +1,18 @@
+# Counted loop with an in-bounds store: the verifier proves the loop
+# bound (8 iterations), bounds the WCET, and checks the store stays
+# inside `scratchpad`. Every register is written before it is read, so
+# the lint comes back clean.
+.lambda counter entry=counter
+.object scratchpad size=64 access=read_write
+.func counter
+    mov r1, 0
+    mov r2, 0
+    label loop
+    bge r1, 8, done
+    add r2, r2, r1
+    add r1, r1, 1
+    jmp loop
+    label done
+    resolve r14, [scratchpad+0]
+    store r14, [scratchpad+0], r2
+    ret r2

@@ -1,0 +1,11 @@
+# Minimal straight-line lambda: swap the UDP ports and send the packet
+# back out. Lint it with:
+#
+#     python -m repro.isa.verify examples/lambdas/echo.asm
+.lambda echo entry=echo
+.func echo
+    hload r1, Udp.sport
+    hload r2, Udp.dport
+    hstore Udp.sport, r2
+    hstore Udp.dport, r1
+    forward

@@ -186,9 +186,134 @@ def _fold_direct_accesses(
     return folded
 
 
+def constant_folding(unit: CompilationUnit) -> CompilationUnit:
+    """Fold statically-known values (verifier-powered, semantics-safe).
+
+    Uses the verifier's constant-propagation fixpoint with an all-NAC
+    entry state, so every fold is valid in *any* calling context:
+
+    * a pure ALU op whose result is a known constant becomes a ``mov``
+      of that constant (cheaper, and it feeds dead-store elimination);
+    * a conditional branch whose outcome is known becomes a ``jmp``
+      (always taken) or disappears (never taken), after which dead-code
+      elimination sweeps the unreachable arm.
+    """
+    from ..isa.interpreter import _BRANCH_OPS
+    from ..isa.verify import NAC, constant_states
+
+    def fold_function(function: Function) -> bool:
+        consts = constant_states(function)
+        new_body: List[Instruction] = []
+        changed = False
+        for index, instruction in enumerate(function.body):
+            op = instruction.op
+            state = consts.before(index)
+            if state is None:  # Unreachable; DCE's job.
+                new_body.append(instruction)
+                continue
+            if op in _FOLDABLE_ALU_OPS:
+                from ..isa.verify import ConstLattice
+
+                value = ConstLattice.evaluate(instruction, state) \
+                    .get(instruction.args[0], NAC)
+                if isinstance(value, int) and \
+                        instruction.args[1:] != (value,):
+                    new_body.append(ins(Op.MOV, instruction.args[0], value))
+                    changed = True
+                    continue
+            elif op in _BRANCH_OPS:
+                a = consts.value_before(index, instruction.args[0])
+                b = consts.value_before(index, instruction.args[1])
+                if a is not NAC and b is not NAC:
+                    try:
+                        taken = _BRANCH_OPS[op](a, b)
+                    except Exception:
+                        new_body.append(instruction)
+                        continue
+                    if taken:
+                        new_body.append(ins(Op.JMP, instruction.args[2]))
+                    changed = True
+                    continue
+            new_body.append(instruction)
+        if changed:
+            function.body[:] = new_body
+        return changed
+
+    for program in unit.lambdas.values():
+        for function in program.functions.values():
+            fold_function(function)
+    for function in unit.shared_functions.values():
+        fold_function(function)
+    dead_code_elimination(unit)
+    return unit
+
+
+#: ALU ops constant folding may rewrite to ``mov`` (never mul -> keeps
+#: the peephole simple: all of these already cost one cycle except MUL,
+#: which folding turns into the cheaper mov).
+_FOLDABLE_ALU_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+    Op.MIN, Op.MAX,
+})
+
+
+def dead_store_elimination(unit: CompilationUnit) -> CompilationUnit:
+    """Delete register writes whose values are provably never read.
+
+    Liveness is solved on the *composed* firmware (where every exit
+    ends the machine, so nothing is live at the end) and the findings
+    are mapped back into the unit's lambda and shared-function bodies.
+    Only side-effect-free writes (:data:`~repro.isa.verify.PURE_DEF_OPS`)
+    are deleted; removal exposes new dead stores, so the pass iterates
+    to a fixpoint.
+    """
+    from ..isa.verify import dead_stores
+    from .unit import SEP
+
+    def locate(firmware_name: str):
+        """Map a composed-function name back to the unit's Function."""
+        if firmware_name in unit.shared_functions:
+            return unit.shared_functions[firmware_name]
+        if firmware_name in unit.lambdas:
+            program = unit.lambdas[firmware_name]
+            return program.functions[program.entry]
+        lambda_name, _, inner = firmware_name.partition(SEP)
+        program = unit.lambdas.get(lambda_name)
+        if program is not None:
+            return program.functions.get(inner)
+        return None  # Generated parse/dispatch code; rebuilt every time.
+
+    while True:
+        firmware = unit.build_program()
+        found = dead_stores(
+            firmware, entry_exit_live=frozenset(), removable_only=True
+        )
+        removals: Dict[int, Tuple[Function, set]] = {}
+        for name, index, _reg in found:
+            function = locate(name)
+            if function is not None:
+                removals.setdefault(id(function), (function, set()))[1].add(index)
+        if not removals:
+            return unit
+        for function, dead in removals.values():
+            function.body[:] = [
+                instruction
+                for index, instruction in enumerate(function.body)
+                if index not in dead
+            ]
+
+
 #: The paper's pass order, as (stage label, pass callable).
 STANDARD_PASSES: List[Tuple[str, object]] = [
     ("Lambda Coalescing", lambda_coalescing),
     ("Match Reduction", match_reduction),
     ("Memory Stratification", memory_stratification),
+]
+
+#: The standard pipeline plus the verifier-powered passes. Opt-in: the
+#: Figure-9 series is defined by the three standard stages, so the
+#: extended stages never run unless requested.
+EXTENDED_PASSES: List[Tuple[str, object]] = STANDARD_PASSES + [
+    ("Constant Folding", constant_folding),
+    ("Dead Store Elimination", dead_store_elimination),
 ]

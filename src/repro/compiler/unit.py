@@ -125,7 +125,11 @@ class CompilationUnit:
         if not self.lambdas:
             raise CompileError("no lambdas to compile")
         pipeline = self.build_pipeline()
-        firmware = LambdaProgram("firmware", entry=FIRMWARE_ENTRY)
+        scratch = frozenset().union(
+            *(program.scratch_registers for program in self.lambdas.values())
+        )
+        firmware = LambdaProgram("firmware", entry=FIRMWARE_ENTRY,
+                                 scratch_registers=scratch)
 
         # Entry: parse, then dispatch. Dispatch ends with a packet verdict.
         firmware.add_function(

@@ -11,6 +11,7 @@ from . import (
     table1_nic_types,
     table3_resources,
     table4_startup,
+    verify_lambdas,
 )
 from .calibration import (
     BACKENDS,
@@ -33,6 +34,7 @@ ALL_EXPERIMENTS = {
     "reorder": micro_reorder.run,
     "fault_recovery": fault_recovery.run,
     "perf": perf.run,
+    "verify": verify_lambdas.run,
 }
 
 
@@ -63,4 +65,5 @@ __all__ = [
     "table1_nic_types",
     "table3_resources",
     "table4_startup",
+    "verify_lambdas",
 ]

@@ -33,25 +33,23 @@ def reachable_functions(program: LambdaProgram) -> Set[str]:
 def unreachable_code(function: Function) -> List[int]:
     """Indices of instructions that can never execute.
 
-    Instructions after an unconditional control transfer (``jmp``,
-    ``ret``, ``halt``, or a terminal packet op) are dead until the next
-    label (which could be a branch target).
+    Built on the verifier's control-flow graph: an instruction is dead
+    iff its basic block is unreachable from the function entry. Unlike
+    the old linear scan, a label after an unconditional control
+    transfer only resurrects the code that follows when something
+    actually branches to it.
     """
+    from .verify.cfg import build_cfg
+
+    cfg = build_cfg(function)
+    live_blocks = cfg.reachable()
     dead: List[int] = []
-    unreachable = False
-    for index, instruction in enumerate(function.body):
-        if instruction.op is Op.LABEL:
-            unreachable = False
+    for block in cfg.blocks:
+        if block.bid in live_blocks:
             continue
-        if unreachable:
-            dead.append(index)
-            continue
-        if instruction.op in _TERMINATORS:
-            unreachable = True
+        dead.extend(index for index, _ in block.instructions)
+    dead.sort()
     return dead
-
-
-_TERMINATORS = {Op.JMP, Op.RET, Op.HALT, Op.FORWARD, Op.DROP, Op.TO_HOST}
 
 
 def function_signature(function: Function) -> Tuple:

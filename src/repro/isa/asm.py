@@ -28,6 +28,8 @@ class AsmError(ValueError):
 def disassemble(program: LambdaProgram) -> str:
     """Render a program as assembly text."""
     lines = [f".lambda {program.name} entry={program.entry}"]
+    if program.scratch_registers:
+        lines.append(".scratch " + " ".join(sorted(program.scratch_registers)))
     for obj in program.objects.values():
         flags = " hot" if obj.hot else ""
         region = f" region={obj.region.value}" if obj.region is not Region.FLAT else ""
@@ -46,6 +48,7 @@ def assemble(text: str) -> LambdaProgram:
     """Parse assembly text back into a program."""
     name = None
     entry = None
+    scratch: List[str] = []
     objects: List[MemoryObject] = []
     functions: List[Function] = []
     current: List[Instruction] = []
@@ -86,6 +89,8 @@ def assemble(text: str) -> LambdaProgram:
             if size is None:
                 raise AsmError(f"object {obj_name!r} missing size=")
             objects.append(MemoryObject(obj_name, size, access, hot, region))
+        elif line.startswith(".scratch"):
+            scratch.extend(line.split()[1:])
         elif line.startswith(".func"):
             close_function()
             current_name = line.split()[1]
@@ -96,7 +101,8 @@ def assemble(text: str) -> LambdaProgram:
     close_function()
     if name is None:
         raise AsmError("missing .lambda directive")
-    program = LambdaProgram(name, functions, objects, entry=entry)
+    program = LambdaProgram(name, functions, objects, entry=entry,
+                            scratch_registers=scratch)
     program.validate()
     return program
 

@@ -167,6 +167,7 @@ class ProgramBuilder:
         self._functions: List[Function] = []
         self._objects: List[MemoryObject] = []
         self._headers: List[str] = []
+        self._scratch: List[str] = []
 
     def _note_header(self, header: str) -> None:
         if header not in self._headers:
@@ -190,6 +191,13 @@ class ProgramBuilder:
         self._objects.append(MemoryObject(name, size_bytes, access, hot))
         return self
 
+    def scratch(self, *registers: str) -> "ProgramBuilder":
+        """Declare registers whose values nobody reads (verifier exempt)."""
+        for register in registers:
+            if register not in self._scratch:
+                self._scratch.append(register)
+        return self
+
     def build(self) -> LambdaProgram:
         program = LambdaProgram(
             self.name,
@@ -197,6 +205,7 @@ class ProgramBuilder:
             objects=self._objects,
             entry=self.entry,
             headers_used=self._headers,
+            scratch_registers=self._scratch,
         )
         program.validate()
         return program

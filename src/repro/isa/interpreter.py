@@ -85,17 +85,32 @@ _INTRINSICS: Dict[str, IntrinsicFn] = {}
 #: response payload) does not count — it is captured in the result.
 _INTRINSIC_WRITES_MEMORY: Dict[str, bool] = {}
 
+#: Static worst-case cost models for the verifier's WCET estimator. A
+#: model receives ``(program, args, reader)`` where ``reader(operand)``
+#: returns the operand's statically-known value or None, and must return
+#: an upper bound on the cycles the intrinsic charges at runtime.
+IntrinsicWcetFn = Callable[[Any, Tuple[Any, ...], Callable[[Any], Any]], int]
+
+_INTRINSIC_WCET: Dict[str, IntrinsicWcetFn] = {}
+
 
 def register_intrinsic(name: str, fn: IntrinsicFn,
-                       writes_memory: bool = True) -> None:
+                       writes_memory: bool = True,
+                       wcet: Optional[IntrinsicWcetFn] = None) -> None:
     """Register a bulk operation usable via ``Op.INTRINSIC``.
 
     ``writes_memory`` declares whether the intrinsic mutates persistent
     memory objects; the conservative default keeps undeclared intrinsics
     safe for the execution memo cache (their runs are never memoised).
+    ``wcet`` optionally supplies a static cost model for the verifier;
+    without one, programs using the intrinsic get no WCET bound.
     """
     _INTRINSICS[name] = fn
     _INTRINSIC_WRITES_MEMORY[name] = writes_memory
+    if wcet is not None:
+        _INTRINSIC_WCET[name] = wcet
+    else:
+        _INTRINSIC_WCET.pop(name, None)
 
 
 def intrinsic_registered(name: str) -> bool:
@@ -105,6 +120,11 @@ def intrinsic_registered(name: str) -> bool:
 def intrinsic_writes_memory(name: str) -> bool:
     """Declared memory effect of an intrinsic (unknown => True)."""
     return _INTRINSIC_WRITES_MEMORY.get(name, True)
+
+
+def intrinsic_wcet(name: str) -> Optional[IntrinsicWcetFn]:
+    """The registered static cost model of an intrinsic, if any."""
+    return _INTRINSIC_WCET.get(name)
 
 
 class Machine:

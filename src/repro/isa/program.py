@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from .instructions import INSTRUCTION_BYTES, Instruction, Op, Region
 
@@ -79,6 +79,7 @@ class LambdaProgram:
         objects: Optional[Iterable[MemoryObject]] = None,
         entry: Optional[str] = None,
         headers_used: Optional[Iterable[str]] = None,
+        scratch_registers: Optional[Iterable[str]] = None,
     ) -> None:
         self.name = name
         self.functions: Dict[str, Function] = {}
@@ -91,6 +92,13 @@ class LambdaProgram:
         #: Header types this lambda touches; used by the framework to
         #: auto-generate the parser (paper contribution #3).
         self.headers_used: List[str] = list(headers_used or [])
+        #: Registers the author declares as scratch: their values are
+        #: never meaningful across reads, so the static verifier skips
+        #: dead-store/uninitialized-read findings for them (e.g. the
+        #: filler registers of coalescable padding).
+        self.scratch_registers: FrozenSet[str] = frozenset(
+            scratch_registers or ()
+        )
 
     def add_function(self, function: Function) -> None:
         if function.name in self.functions:
@@ -129,7 +137,8 @@ class LambdaProgram:
     def copy(self) -> "LambdaProgram":
         """Deep copy (instructions are immutable and shared)."""
         clone = LambdaProgram(self.name, entry=self.entry,
-                              headers_used=list(self.headers_used))
+                              headers_used=list(self.headers_used),
+                              scratch_registers=self.scratch_registers)
         for function in self.functions.values():
             clone.add_function(Function(function.name, list(function.body)))
         for obj in self.objects.values():

@@ -1,0 +1,85 @@
+"""Static verification of lambda programs (eBPF-verifier style).
+
+λ-NIC installs untrusted Micro-C lambdas onto shared NPU cores, so the
+runtime must prove — *before* flashing firmware — that a lambda fits the
+instruction store, respects memory isolation, and terminates within the
+interactive SLO. This package provides that proof layer:
+
+* :mod:`.cfg` — per-function control-flow graphs (basic blocks, edges
+  from branches/jumps/fallthrough, loop detection);
+* :mod:`.dataflow` — a generic worklist fixpoint framework;
+* :mod:`.analyses` — reaching definitions, liveness, constant
+  propagation, initialized-register tracking (all interprocedural over
+  the shared 16-register file);
+* :mod:`.memcheck` — bounds and access-mode checks against declared
+  :class:`~repro.isa.program.MemoryObject` regions;
+* :mod:`.wcet` — loop-bound inference and worst-case cycle estimation
+  using the interpreter's own per-op/region cost model, so static
+  bounds are directly comparable to dynamic cycle counts;
+* :mod:`.verifier` — the :func:`verify_program` entry point producing a
+  :class:`~repro.isa.verify.report.VerifierReport`.
+
+Run ``python -m repro.isa.verify <file.asm>`` for the standalone lint
+CLI (see :mod:`.__main__`).
+"""
+
+from .analyses import (
+    ALL_REGISTERS,
+    ConstLattice,
+    ConstantStates,
+    InterproceduralLiveness,
+    NAC,
+    PURE_DEF_OPS,
+    constant_states,
+    dead_stores,
+    instruction_defs,
+    instruction_uses,
+    may_write_registers,
+    reaching_definitions,
+    uninitialized_reads,
+)
+from .cfg import CFG, BasicBlock, build_cfg
+from .dataflow import DataflowProblem, DataflowResult, FixpointError, solve
+from .memcheck import check_memory, region_footprint
+from .report import Finding, Severity, VerifierReport
+from .verifier import (
+    MAX_INSTRUCTIONS_PER_CORE,
+    VerifyOptions,
+    verify_program,
+)
+from .wcet import LoopInfo, WcetResult, estimate_wcet, find_loops
+
+__all__ = [
+    "ALL_REGISTERS",
+    "BasicBlock",
+    "CFG",
+    "ConstLattice",
+    "ConstantStates",
+    "DataflowProblem",
+    "DataflowResult",
+    "Finding",
+    "FixpointError",
+    "InterproceduralLiveness",
+    "LoopInfo",
+    "MAX_INSTRUCTIONS_PER_CORE",
+    "NAC",
+    "PURE_DEF_OPS",
+    "Severity",
+    "VerifierReport",
+    "VerifyOptions",
+    "WcetResult",
+    "build_cfg",
+    "check_memory",
+    "constant_states",
+    "dead_stores",
+    "estimate_wcet",
+    "find_loops",
+    "instruction_defs",
+    "instruction_uses",
+    "may_write_registers",
+    "reaching_definitions",
+    "region_footprint",
+    "solve",
+    "uninitialized_reads",
+    "verify_program",
+]

@@ -1,0 +1,96 @@
+"""Standalone lint CLI: ``python -m repro.isa.verify <file.asm> ...``.
+
+Verifies lambda assembly files (and, with ``--workloads``, every
+built-in benchmark program) and prints one report per program. Exits
+non-zero when any program has error-grade findings (or, with
+``--strict``, any warnings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+from ..asm import AsmError, assemble
+from ..program import LambdaProgram
+from .report import VerifierReport
+from .verifier import VerifyOptions, verify_program
+
+
+def _load_asm(path: str) -> LambdaProgram:
+    return assemble(Path(path).read_text())
+
+
+def _workload_programs() -> List[Tuple[str, LambdaProgram]]:
+    from ...workloads.intrinsics import install_intrinsics
+    from ...workloads.registry import standard_workloads
+
+    install_intrinsics()
+    return [
+        (name, spec.nic_program())
+        for name, spec in sorted(standard_workloads().items())
+    ]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.isa.verify",
+        description="Statically verify lambda IR programs.",
+    )
+    parser.add_argument("files", nargs="*", metavar="FILE.asm",
+                        help="assembly files to verify")
+    parser.add_argument("--workloads", action="store_true",
+                        help="also verify every built-in workload program")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write all reports as JSON to PATH "
+                             "('-' for stdout)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print failing programs")
+    args = parser.parse_args(argv)
+
+    if not args.files and not args.workloads:
+        parser.error("nothing to verify (pass files and/or --workloads)")
+
+    reports: List[VerifierReport] = []
+    load_failures = 0
+    targets: List[Tuple[str, LambdaProgram]] = []
+    for path in args.files:
+        try:
+            targets.append((path, _load_asm(path)))
+        except (OSError, AsmError, ValueError) as exc:
+            print(f"{path}: failed to load: {exc}", file=sys.stderr)
+            load_failures += 1
+    if args.workloads:
+        targets.extend(_workload_programs())
+
+    failed = load_failures
+    for label, program in targets:
+        report = verify_program(program, VerifyOptions())
+        reports.append(report)
+        bad = not report.ok or (args.strict and report.warnings)
+        if bad:
+            failed += 1
+        if bad or not args.quiet:
+            print(report.summary())
+
+    if args.json_path:
+        payload = json.dumps([r.to_dict() for r in reports], indent=2)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            Path(args.json_path).write_text(payload + "\n")
+
+    total = len(reports)
+    ok = sum(1 for r in reports if r.ok)
+    print(f"verified {total} program(s): {ok} ok, {total - ok} rejected",
+          file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Verification findings and the aggregate :class:`VerifierReport`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make a program unloadable (the admission layer
+    rejects it); ``WARNING`` findings are lint-grade; ``INFO`` is
+    advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Severity.{self.name}"
+
+
+#: Stable sort order: errors first.
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass
+class Finding:
+    """One verifier diagnostic, anchored to a precise location.
+
+    ``index`` is the body index inside ``function`` (the same index the
+    interpreter's program counter uses), so a finding points at exactly
+    one instruction.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    function: Optional[str] = None
+    index: Optional[int] = None
+    instruction: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        if self.function is None:
+            return "<program>"
+        if self.index is None:
+            return self.function
+        return f"{self.function}@{self.index}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "severity": self.severity.value,
+            "code": self.code,
+            "message": self.message,
+            "function": self.function,
+            "index": self.index,
+            "instruction": self.instruction,
+        }
+
+    def __str__(self) -> str:
+        where = self.location
+        tail = f"  [{self.instruction}]" if self.instruction else ""
+        return f"{self.severity.value}: {where}: {self.code}: {self.message}{tail}"
+
+
+@dataclass
+class VerifierReport:
+    """Everything the verifier proved (or failed to prove) about a program."""
+
+    program: str
+    findings: List[Finding] = field(default_factory=list)
+    #: Worst-case cycles of one invocation from the entry function;
+    #: None when no bound could be established (e.g. an intrinsic with
+    #: no static cost model).
+    wcet_cycles: Optional[int] = None
+    #: Per-function worst-case cycles (callees included).
+    function_wcet: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: Data bytes placed per memory region (region value -> bytes).
+    region_footprint: Dict[str, int] = field(default_factory=dict)
+    instruction_count: int = 0
+    code_bytes: int = 0
+    data_bytes: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the program is loadable (no error-grade findings)."""
+        return not self.errors
+
+    def wcet_seconds(self, clock_hz: float) -> Optional[float]:
+        if self.wcet_cycles is None:
+            return None
+        return self.wcet_cycles / clock_hz
+
+    def sort(self) -> None:
+        self.findings.sort(
+            key=lambda f: (
+                _SEVERITY_RANK[f.severity],
+                f.function or "",
+                f.index if f.index is not None else -1,
+                f.code,
+            )
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "ok": self.ok,
+            "instruction_count": self.instruction_count,
+            "code_bytes": self.code_bytes,
+            "data_bytes": self.data_bytes,
+            "wcet_cycles": self.wcet_cycles,
+            "function_wcet": dict(self.function_wcet),
+            "region_footprint": dict(self.region_footprint),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (the lint CLI's output)."""
+        status = "OK" if self.ok else "REJECTED"
+        wcet = "unbounded/unknown" if self.wcet_cycles is None else \
+            f"{self.wcet_cycles} cycles"
+        lines = [
+            f"{self.program}: {status} "
+            f"({len(self.errors)} errors, {len(self.warnings)} warnings)",
+            f"  instructions: {self.instruction_count} "
+            f"({self.code_bytes} B code, {self.data_bytes} B data)",
+            f"  wcet: {wcet}",
+        ]
+        if self.region_footprint:
+            layout = ", ".join(
+                f"{region}={size}B"
+                for region, size in sorted(self.region_footprint.items())
+            )
+            lines.append(f"  regions: {layout}")
+        for finding in self.findings:
+            lines.append(f"  {finding}")
+        return "\n".join(lines)

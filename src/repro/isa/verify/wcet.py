@@ -1,0 +1,526 @@
+"""Loop-bound inference and worst-case execution-time estimation.
+
+The cost model is the interpreter's own
+(:data:`~repro.isa.instructions.BASE_CYCLES` per op,
+:data:`~repro.isa.instructions.REGION_ACCESS_CYCLES` per memory access,
+64 B DMA bursts for bulk ops), so a static bound is directly comparable
+to — and must dominate — any dynamic
+:attr:`~repro.isa.interpreter.ExecutionResult.cycles` observation.
+
+Method:
+
+* **acyclic** CFGs get the exact longest-path bound (dynamic
+  programming over postorder);
+* **cyclic** CFGs need loop bounds. For every natural loop the analysis
+  looks for a *counted-loop* shape: a conditional branch with one
+  successor outside the loop comparing a register against a constant,
+  where that register has a constant initial value on loop entry and
+  exactly one ``add``/``sub`` self-update with constant stride inside
+  the loop (and no call in the loop can clobber it). The trip count is
+  solved in closed form, plus one iteration of slack for test-order
+  ambiguity. Bounded loops yield the sound (if loose) product bound
+  ``sum(block_cost x prod(enclosing loop bounds))``; an unbounded loop
+  is an error and the WCET is unknown;
+* calls add the callee's WCET (call graph processed callees-first;
+  recursion is an error);
+* intrinsics use their registered static cost model
+  (``register_intrinsic(..., wcet=...)``); an intrinsic without one
+  leaves the WCET unknown with a warning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..instructions import (
+    BASE_CYCLES,
+    Instruction,
+    Op,
+    REGION_ACCESS_CYCLES,
+    is_mem_ref,
+    is_register,
+)
+from ..interpreter import BULK_BURST_BYTES, intrinsic_wcet
+from ..program import LambdaProgram
+from .analyses import (
+    ALL_REGISTERS,
+    ConstantStates,
+    NAC,
+    constant_states,
+    instruction_defs,
+    may_write_registers,
+)
+from .cfg import BRANCH_OPS, CFG, build_cfg
+from .report import Finding, Severity
+
+
+@dataclass
+class LoopInfo:
+    """One natural loop (back edges merged by header)."""
+
+    header: int
+    blocks: FrozenSet[int]
+    back_edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: Maximum iterations of the loop body, or None if not inferred.
+    bound: Optional[int] = None
+    #: The induction register the bound was derived from.
+    counter: Optional[str] = None
+    #: Body index of the exit-test branch used for the bound.
+    exit_index: Optional[int] = None
+
+    @property
+    def bounded(self) -> bool:
+        return self.bound is not None
+
+
+@dataclass
+class WcetResult:
+    """Static worst-case cycles for a whole program."""
+
+    program: str
+    #: WCET of one invocation from the entry; None when unknown.
+    total_cycles: Optional[int] = None
+    function_cycles: Dict[str, Optional[int]] = field(default_factory=dict)
+    loops: Dict[str, List[LoopInfo]] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Loop detection and bound inference
+# ---------------------------------------------------------------------------
+
+
+def find_loops(
+    cfg: CFG,
+    consts: Optional[ConstantStates] = None,
+    program: Optional[LambdaProgram] = None,
+) -> List[LoopInfo]:
+    """Natural loops of ``cfg`` with inferred bounds where possible."""
+    back_edges = cfg.back_edges()
+    if not back_edges:
+        return []
+    if consts is None:
+        consts = constant_states(cfg.function, cfg=cfg)
+    by_header: Dict[int, LoopInfo] = {}
+    for source, header in back_edges:
+        info = by_header.get(header)
+        body = cfg.natural_loop(source, header)
+        if info is None:
+            by_header[header] = LoopInfo(
+                header=header, blocks=frozenset(body),
+                back_edges=[(source, header)],
+            )
+        else:
+            info.blocks = info.blocks | frozenset(body)
+            info.back_edges.append((source, header))
+    loops = [by_header[h] for h in sorted(by_header)]
+    for loop in loops:
+        _infer_bound(cfg, loop, consts, program)
+    return loops
+
+
+#: Exit-predicate kinds over the counter value v and a limit L.
+_NEGATE = {"lt": "ge", "ge": "lt", "gt": "le", "le": "gt",
+           "eq": "ne", "ne": "eq"}
+_BRANCH_KIND = {Op.BEQ: "eq", Op.BNE: "ne", Op.BLT: "lt", Op.BGE: "ge"}
+_SWAP = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
+         "eq": "eq", "ne": "ne"}
+
+
+def _infer_bound(cfg: CFG, loop: LoopInfo, consts: ConstantStates,
+                 program: Optional[LambdaProgram]) -> None:
+    best: Optional[Tuple[int, str, int]] = None  # (bound, counter, index)
+    for bid in sorted(loop.blocks):
+        block = cfg.block(bid)
+        term = block.terminator
+        if term is None or term.op not in BRANCH_OPS:
+            continue
+        exit_kind = _exit_kind(cfg, loop, block, term)
+        if exit_kind is None:
+            continue
+        index = block.instructions[-1][0]
+        candidate = _counted_bound(cfg, loop, term, exit_kind, index,
+                                   consts, program)
+        if candidate is None:
+            continue
+        bound, counter = candidate
+        if best is None or bound < best[0]:
+            best = (bound, counter, index)
+    if best is not None:
+        loop.bound, loop.counter, loop.exit_index = best
+
+
+def _exit_kind(cfg: CFG, loop: LoopInfo, block, term) -> Optional[bool]:
+    """True: loop exits when the branch is taken; False: on fallthrough.
+
+    None when neither successor leaves the loop (not an exit test).
+    """
+    labels = cfg.function.labels()
+    target_index = labels.get(term.args[-1])
+    taken = cfg.block_at.get(target_index) if target_index is not None else None
+    fallthrough = block.bid + 1 if block.bid + 1 < len(cfg.blocks) else None
+    if taken is not None and taken not in loop.blocks:
+        return True
+    if fallthrough is not None and fallthrough not in loop.blocks:
+        return False
+    return None
+
+
+def _counted_bound(
+    cfg: CFG,
+    loop: LoopInfo,
+    term: Instruction,
+    exits_on_true: bool,
+    test_index: int,
+    consts: ConstantStates,
+    program: Optional[LambdaProgram],
+) -> Optional[Tuple[int, str]]:
+    a, b = term.args[0], term.args[1]
+    a_value = consts.value_before(test_index, a)
+    b_value = consts.value_before(test_index, b)
+    kind = _BRANCH_KIND[term.op]
+    if is_register(a) and a_value is NAC and b_value is not NAC:
+        counter, limit = a, b_value
+    elif is_register(b) and b_value is NAC and a_value is not NAC:
+        counter, limit = b, a_value
+        kind = _SWAP[kind]  # cond(L, v) -> equivalent cond on v.
+    else:
+        return None
+    if not exits_on_true:
+        kind = _NEGATE[kind]
+
+    step = _unique_step(cfg, loop, counter, consts, program)
+    if step is None:
+        return None
+    init = _entry_value(cfg, loop, counter, consts)
+    if init is None:
+        return None
+    trips = _first_exit(kind, init, step, limit)
+    if trips is None:
+        return None
+    # +1 slack: the test may observe the counter before or after the
+    # update depending on loop shape; one extra body iteration covers
+    # both orders.
+    return trips + 1, counter
+
+
+def _unique_step(
+    cfg: CFG,
+    loop: LoopInfo,
+    counter: str,
+    consts: ConstantStates,
+    program: Optional[LambdaProgram],
+) -> Optional[int]:
+    """The constant stride of ``counter``'s single in-loop update."""
+    step: Optional[int] = None
+    for bid in loop.blocks:
+        for index, instruction in cfg.block(bid).instructions:
+            if instruction.op is Op.CALL:
+                callee_writes = (
+                    may_write_registers(program, instruction.args[0])
+                    if program is not None else ALL_REGISTERS
+                )
+                if counter in callee_writes:
+                    return None
+                continue
+            if counter not in instruction_defs(instruction):
+                continue
+            if step is not None:
+                return None  # More than one update: give up.
+            step = _step_of(instruction, counter, consts, index)
+            if step is None:
+                return None
+    if step == 0:
+        return None
+    return step
+
+
+def _step_of(instruction: Instruction, counter: str,
+             consts: ConstantStates, index: int) -> Optional[int]:
+    op = instruction.op
+    args = instruction.args
+    if op not in (Op.ADD, Op.SUB) or args[0] != counter:
+        return None
+    if args[1] == counter:
+        stride = consts.value_before(index, args[2])
+    elif op is Op.ADD and args[2] == counter:
+        stride = consts.value_before(index, args[1])
+    else:
+        return None
+    if stride is NAC or not isinstance(stride, int):
+        return None
+    return -stride if op is Op.SUB else stride
+
+
+def _entry_value(cfg: CFG, loop: LoopInfo, counter: str,
+                 consts: ConstantStates) -> Optional[int]:
+    """Constant value of ``counter`` on entering the loop header."""
+    value: Any = None
+    header = cfg.block(loop.header)
+    for pred in header.preds:
+        if pred in loop.blocks:
+            continue  # Back edge or in-loop path.
+        state = consts.result.after(pred)
+        if state is None:
+            continue  # Unreachable predecessor.
+        pred_value = state.get(counter, NAC)
+        if pred_value is NAC:
+            return None
+        if value is None:
+            value = pred_value
+        elif value != pred_value:
+            return None
+    if value is None or not isinstance(value, int):
+        return None
+    return value
+
+
+def _first_exit(kind: str, init: int, step: int, limit: Any) -> Optional[int]:
+    """Smallest k >= 1 with the exit predicate true of ``init + k*step``."""
+    first = init + step
+    if kind == "ne":
+        return 1 if first != limit else 2  # step != 0, so k=2 differs.
+    if kind == "eq":
+        if not isinstance(limit, int):
+            return None
+        delta = limit - init
+        if delta % step == 0 and delta // step >= 1:
+            return delta // step
+        return None
+    if not isinstance(limit, (int, float)):
+        return None
+    if kind in ("lt", "le"):
+        hit = first < limit if kind == "lt" else first <= limit
+        if hit:
+            return 1
+        if step >= 0:
+            return None  # Moving away from the exit region.
+        if kind == "lt":
+            k = math.floor((init - limit) / -step) + 1
+        else:
+            k = math.ceil((init - limit) / -step)
+        return max(int(k), 1)
+    # gt / ge
+    hit = first > limit if kind == "gt" else first >= limit
+    if hit:
+        return 1
+    if step <= 0:
+        return None
+    if kind == "gt":
+        k = math.floor((limit - init) / step) + 1
+    else:
+        k = math.ceil((limit - init) / step)
+    return max(int(k), 1)
+
+
+# ---------------------------------------------------------------------------
+# WCET estimation
+# ---------------------------------------------------------------------------
+
+
+def _instruction_wcet(
+    program: LambdaProgram,
+    instruction: Instruction,
+    index: int,
+    consts: ConstantStates,
+    callee_wcet: Dict[str, Optional[int]],
+    findings: List[Finding],
+    function_name: str,
+) -> Optional[int]:
+    op = instruction.op
+    cycles = BASE_CYCLES[op]
+    if op in (Op.LOAD, Op.LOADD, Op.STORE, Op.STORED):
+        memref = instruction.args[-1] if op in (Op.LOAD, Op.LOADD) else (
+            instruction.args[-2] if op is Op.STORE else instruction.args[0]
+        )
+        obj = program.objects.get(memref[1]) if is_mem_ref(memref) else None
+        if obj is not None:
+            cycles += REGION_ACCESS_CYCLES[obj.region]
+        return cycles
+    if op is Op.MEMCPY:
+        dst_ref, src_ref, length = instruction.args
+        n = consts.const_before(index, length)
+        dst = program.objects.get(dst_ref[1]) if is_mem_ref(dst_ref) else None
+        src = program.objects.get(src_ref[1]) if is_mem_ref(src_ref) else None
+        if not isinstance(n, int):
+            sizes = [o.size_bytes for o in (dst, src) if o is not None]
+            n = min(sizes) if sizes else BULK_BURST_BYTES
+        bursts = max(1, math.ceil(max(n, 0) / BULK_BURST_BYTES))
+        for obj in (src, dst):
+            if obj is not None:
+                cycles += bursts * REGION_ACCESS_CYCLES[obj.region]
+        return cycles
+    if op is Op.INTRINSIC:
+        name = instruction.args[0]
+        model = intrinsic_wcet(name)
+        if model is None:
+            findings.append(Finding(
+                severity=Severity.WARNING,
+                code="no-wcet-model",
+                message=f"intrinsic {name!r} has no static cost model; "
+                        "WCET is unknown",
+                function=function_name,
+                index=index,
+                instruction=repr(instruction),
+            ))
+            return None
+        reader = lambda operand: consts.const_before(index, operand)  # noqa: E731
+        try:
+            return cycles + int(model(program, instruction.args[1:], reader))
+        except Exception as exc:
+            findings.append(Finding(
+                severity=Severity.WARNING,
+                code="no-wcet-model",
+                message=f"cost model for intrinsic {name!r} failed: {exc}",
+                function=function_name,
+                index=index,
+                instruction=repr(instruction),
+            ))
+            return None
+    if op is Op.CALL:
+        callee = callee_wcet.get(instruction.args[0])
+        if callee is None:
+            return None
+        return cycles + callee
+    return cycles
+
+
+def _function_wcet(
+    program: LambdaProgram,
+    name: str,
+    cfg: CFG,
+    consts: ConstantStates,
+    callee_wcet: Dict[str, Optional[int]],
+    findings: List[Finding],
+) -> Tuple[Optional[int], List[LoopInfo]]:
+    reachable = cfg.reachable()
+    if not reachable:
+        return 0, []
+    block_cost: Dict[int, Optional[int]] = {}
+    for bid in reachable:
+        total: Optional[int] = 0
+        for index, instruction in cfg.block(bid).instructions:
+            cost = _instruction_wcet(program, instruction, index, consts,
+                                     callee_wcet, findings, name)
+            if cost is None:
+                total = None
+                break
+            total += cost
+        block_cost[bid] = total
+
+    loops = find_loops(cfg, consts, program)
+    for loop in loops:
+        if loop.bound is None:
+            anchor = loop.exit_index
+            if anchor is None:
+                header_block = cfg.block(loop.header)
+                anchor = header_block.instructions[0][0] \
+                    if header_block.instructions else None
+            findings.append(Finding(
+                severity=Severity.ERROR,
+                code="unbounded-loop",
+                message=(
+                    f"cannot bound loop with header block {loop.header} "
+                    f"(no counted-loop exit test found)"
+                ),
+                function=name,
+                index=anchor,
+            ))
+
+    if any(block_cost[bid] is None for bid in reachable):
+        return None, loops
+
+    if not loops:
+        # Exact longest path over the acyclic reachable subgraph.
+        memo: Dict[int, int] = {}
+        for bid in cfg.postorder():  # Successors visited before bid.
+            succ_max = max(
+                (memo[s] for s in cfg.block(bid).succs if s in memo),
+                default=0,
+            )
+            memo[bid] = block_cost[bid] + succ_max
+        return memo.get(cfg.entry, 0), loops
+
+    if any(loop.bound is None for loop in loops):
+        return None, loops
+
+    total = 0
+    for bid in reachable:
+        multiplier = 1
+        for loop in loops:
+            if bid in loop.blocks:
+                multiplier *= loop.bound
+        total += block_cost[bid] * multiplier
+    return total, loops
+
+
+def estimate_wcet(
+    program: LambdaProgram,
+    entry: Optional[str] = None,
+    consts: Optional[Dict[str, ConstantStates]] = None,
+) -> WcetResult:
+    """Static WCET of one invocation of ``program`` from its entry."""
+    entry = entry or program.entry
+    result = WcetResult(program=program.name)
+    consts = dict(consts) if consts else {}
+    cfgs: Dict[str, CFG] = {}
+
+    def analysis_for(name: str) -> ConstantStates:
+        cached = consts.get(name)
+        if cached is None:
+            cfg = cfgs.setdefault(name, build_cfg(program.functions[name]))
+            cached = constant_states(program.functions[name], cfg=cfg)
+            consts[name] = cached
+        return cached
+
+    # Callees-first order over the call graph; recursion is an error.
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(name: str) -> bool:
+        """Returns False if a cycle goes through ``name``."""
+        if name not in program.functions:
+            return True  # Structural validation reports the bad call.
+        mark = state.get(name)
+        if mark == 2:
+            return True
+        if mark == 1:
+            return False
+        state[name] = 1
+        ok = True
+        for callee in program.functions[name].called_functions():
+            if not visit(callee):
+                ok = False
+                if callee not in result.function_cycles:
+                    result.function_cycles[callee] = None
+        state[name] = 2
+        order.append(name)
+        if not ok:
+            result.findings.append(Finding(
+                severity=Severity.ERROR,
+                code="recursion",
+                message=f"recursive call cycle through {name!r}; "
+                        "WCET is unbounded",
+                function=name,
+            ))
+            result.function_cycles[name] = None
+        return ok
+
+    visit(entry)
+
+    for name in order:
+        if result.function_cycles.get(name, 0) is None:
+            continue  # Part of a recursion cycle.
+        cfg = cfgs.setdefault(name, build_cfg(program.functions[name]))
+        cycles, loops = _function_wcet(
+            program, name, cfg, analysis_for(name),
+            result.function_cycles, result.findings,
+        )
+        result.function_cycles[name] = cycles
+        if loops:
+            result.loops[name] = loops
+
+    result.total_cycles = result.function_cycles.get(entry)
+    return result

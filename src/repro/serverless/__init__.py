@@ -1,5 +1,11 @@
 """OpenFaaS-like serverless framework with a λ-NIC backend."""
 
+from .admission import (
+    AdmissionDecision,
+    AdmissionError,
+    AdmissionPolicy,
+    NIC_CLOCK_HZ,
+)
 from .autoscaler import AutoScaler, ScalingDecision
 from .breaker import CLOSED, CircuitBreaker, HALF_OPEN, OPEN
 from .backends import (
@@ -31,6 +37,9 @@ from .monitor import (
 from .storage import ObjectStorage, StorageError, StoredObject
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionError",
+    "AdmissionPolicy",
     "Alert",
     "AutoScaler",
     "Backend",
@@ -55,6 +64,7 @@ __all__ = [
     "MASTER",
     "MetricsRegistry",
     "MonitoringEngine",
+    "NIC_CLOCK_HZ",
     "OPEN",
     "ObjectStorage",
     "RDMA_BUFFER_POOL",

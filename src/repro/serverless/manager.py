@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from ..raft import EtcdClient
 from ..sim import Environment
 from ..workloads import WorkloadSpec
+from .admission import AdmissionDecision, AdmissionError, AdmissionPolicy
 from .backends import Backend, DeployResult
 from .gateway import Gateway
 from .metrics import MetricsRegistry
@@ -49,6 +50,8 @@ class DeploymentRecord:
     #: A warm copy on a fallback backend, kept ready for degradation.
     standby_kind: Optional[str] = None
     standby_result: Optional[DeployResult] = None
+    #: Static-verification outcome (None when no admission policy ran).
+    admission: Optional[AdmissionDecision] = None
 
     @property
     def degraded(self) -> bool:
@@ -68,6 +71,7 @@ class WorkloadManager:
         etcd: Optional[EtcdClient] = None,
         metrics: Optional[MetricsRegistry] = None,
         fallback_order: Sequence[str] = DEFAULT_FALLBACK_ORDER,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.env = env
         self.gateway = gateway
@@ -75,6 +79,8 @@ class WorkloadManager:
         self.etcd = etcd
         self.metrics = metrics or gateway.metrics
         self.fallback_order = tuple(fallback_order)
+        #: Optional verifier-backed admission control for NIC deploys.
+        self.admission = admission
         self.backends: Dict[str, Backend] = {}
         self.deployments: Dict[str, DeploymentRecord] = {}
         self._wids = itertools.count(1)
@@ -89,6 +95,11 @@ class WorkloadManager:
         self.degraded_workloads = self.metrics.gauge(
             "manager_degraded_workloads",
             "workloads currently served off their home backend",
+        )
+        self.admission_total = self.metrics.counter(
+            "manager_admission_total",
+            "admission decisions by outcome "
+            "(admitted/not-nic/rerouted-wcet/rerouted-unbounded/rejected)",
         )
 
     def add_backend(self, backend: Backend) -> None:
@@ -110,6 +121,9 @@ class WorkloadManager:
     def _deploy(self, spec: WorkloadSpec, backend_kind: str):
         if spec.name in self.deployments:
             raise ValueError(f"workload {spec.name!r} already deployed")
+        decision = self._admit(spec, backend_kind)
+        if decision is not None:
+            backend_kind = decision.admitted_kind
         backend = self.backend(backend_kind)
         started = self.env.now
         wid = next(self._wids)
@@ -141,9 +155,33 @@ class WorkloadManager:
             startup_seconds=self.env.now - download_started,
             home_backend=backend_kind,
             home_result=result,
+            admission=decision,
         )
         self.deployments[spec.name] = record
         return record
+
+    def _admit(self, spec: WorkloadSpec,
+               backend_kind: str) -> Optional[AdmissionDecision]:
+        """Run the admission policy (when configured) for one deploy.
+
+        Raises :class:`AdmissionError` — and counts the rejection —
+        when the lambda fails static verification outright.
+        """
+        if self.admission is None:
+            return None
+        try:
+            decision = self.admission.evaluate(
+                spec, backend_kind, available_kinds=self.backends
+            )
+        except AdmissionError:
+            self.admission_total.inc(
+                labels={"workload": spec.name, "outcome": "rejected"}
+            )
+            raise
+        self.admission_total.inc(
+            labels={"workload": spec.name, "outcome": decision.reason}
+        )
+        return decision
 
     def undeploy(self, workload: str):
         """Process: tear a workload down everywhere."""

@@ -22,14 +22,17 @@ def emit_pad(fn: FunctionBuilder, count: int) -> None:
 
     The pattern cycles through ALU ops on scratch registers so that two
     helpers padded with the same count have identical bodies (required
-    for coalescing) while still being executable.
+    for coalescing) while still being executable. The first two steps
+    are plain moves so the scratch registers are written before any
+    read-modify-write op touches them (mov, add and xor all cost one
+    cycle, so the pad's cycle count is unchanged).
     """
     for index in range(count):
         step = index % 4
         if step == 0:
-            fn.add("r6", "r6", 1)
+            fn.mov("r6", 1)
         elif step == 1:
-            fn.xor("r7", "r7", "r6")
+            fn.mov("r7", "r6")
         elif step == 2:
             fn.shl("r6", "r6", 0)
         else:

@@ -42,6 +42,7 @@ def image_transformer_nic(
     """Build the NIC lambda: grayscale over an RDMA-filled buffer."""
     pixels = width * height
     builder = ProgramBuilder(name)
+    builder.scratch("r6", "r7")  # pad filler registers; nobody reads them
     builder.object("image", image_bytes(width, height), AccessMode.READ_WRITE)
     builder.object("tile_table", max(8, tile_blocks) * 8,
                    AccessMode.READ_WRITE, hot=True)

@@ -77,6 +77,52 @@ def checksum(machine: Machine, args) -> int:
     return bursts * REGION_ACCESS_CYCLES[_object_region(machine, obj)] // 4
 
 
+# -- static cost models (the verifier's WCET estimator) ---------------------
+#
+# Each model receives ``(program, args, reader)`` where ``reader``
+# returns an operand's statically-known value or None, and must return
+# an upper bound on the cycles the runtime implementation above charges.
+# All three runtime costs are clamped by the object size, so "length
+# unknown" still has a finite worst case.
+
+
+def _static_object(program, memref):
+    _, obj, _ = memref
+    return program.object(obj)
+
+
+def reply_from_memory_wcet(program, args, reader) -> int:
+    memref, length = args
+    obj = _static_object(program, memref)
+    n = reader(length)
+    offset = reader(memref[2])
+    if isinstance(n, int) and isinstance(offset, int):
+        n = min(max(n, 0), max(0, obj.size_bytes - offset))
+    else:
+        n = obj.size_bytes  # Runtime clamps to the object.
+    bursts = max(1, math.ceil(n / 64))
+    return bursts * REGION_ACCESS_CYCLES[obj.region]
+
+
+def grayscale_wcet(program, args, reader) -> int:
+    memref, n_pixels = args
+    obj = _static_object(program, memref)
+    n = reader(n_pixels)
+    ceiling = obj.size_bytes // 4
+    usable = min(max(n, 0), ceiling) if isinstance(n, int) else ceiling
+    return usable * GRAYSCALE_CYCLES_PER_PIXEL
+
+
+def checksum_wcet(program, args, reader) -> int:
+    memref, length = args
+    obj = _static_object(program, memref)
+    n = reader(length)
+    usable = min(max(n, 0), obj.size_bytes) if isinstance(n, int) \
+        else obj.size_bytes
+    bursts = max(1, math.ceil(usable / 64))
+    return bursts * REGION_ACCESS_CYCLES[obj.region] // 4
+
+
 def install_intrinsics() -> None:
     """Idempotently register all workload intrinsics.
 
@@ -84,12 +130,15 @@ def install_intrinsics() -> None:
     ``reply_from_memory`` and ``checksum`` only read objects (their
     outputs land in per-request state), while ``grayscale`` rewrites
     the image buffer in place and therefore marks its executions as
-    stateful.
+    stateful. The ``wcet`` models give the static verifier a sound
+    cycle bound for each.
     """
     register_intrinsic("reply_from_memory", reply_from_memory,
-                       writes_memory=False)
-    register_intrinsic("grayscale", grayscale, writes_memory=True)
-    register_intrinsic("checksum", checksum, writes_memory=False)
+                       writes_memory=False, wcet=reply_from_memory_wcet)
+    register_intrinsic("grayscale", grayscale, writes_memory=True,
+                       wcet=grayscale_wcet)
+    register_intrinsic("checksum", checksum, writes_memory=False,
+                       wcet=checksum_wcet)
 
 
 install_intrinsics()

@@ -31,6 +31,7 @@ def kv_client_nic(
     if method not in ("GET", "SET"):
         raise ValueError("method must be GET or SET")
     builder = ProgramBuilder(name)
+    builder.scratch("r6", "r7")  # pad filler registers; nobody reads them
 
     gen = builder.function("gen_memcached_request")
     build_gen_request_helper(gen)

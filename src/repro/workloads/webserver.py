@@ -34,6 +34,7 @@ def web_server_nic(
     if pages & (pages - 1):
         raise ValueError("pages must be a power of two")
     builder = ProgramBuilder(name)
+    builder.scratch("r6", "r7")  # pad filler registers; nobody reads them
     builder.object("content", pages * page_bytes, AccessMode.READ)
     builder.object("txbuf", page_bytes, AccessMode.READ_WRITE, hot=True)
     builder.object("stats", 64, AccessMode.READ_WRITE, hot=True)

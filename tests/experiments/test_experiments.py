@@ -19,6 +19,7 @@ from repro.experiments import (
     table1_nic_types,
     table3_resources,
     table4_startup,
+    verify_lambdas,
 )
 from repro.experiments.calibration import PAPER_FIG9, PAPER_TABLE4
 
@@ -26,7 +27,7 @@ from repro.experiments.calibration import PAPER_FIG9, PAPER_TABLE4
 def test_registry_covers_every_table_and_figure():
     assert set(ALL_EXPERIMENTS) == {
         "table1", "fig6", "fig7", "fig8", "table2", "table3", "table4",
-        "fig9", "reorder", "fault_recovery", "perf",
+        "fig9", "reorder", "fault_recovery", "perf", "verify",
     }
 
 
@@ -153,6 +154,21 @@ def test_perf_report_shapes():
     report = perf.run(FAST_CONFIG)
     assert len(report.rows) == 7
     assert "Perf" in report.format()
+
+
+def test_verify_report_shapes():
+    """The verifier driver: every workload verified, admissions correct."""
+    report = verify_lambdas.run(FAST_CONFIG)
+    rows = {row[0]: row for row in report.rows}
+    assert set(rows) == {"image_transformer", "kv_client", "web_server"}
+    assert all(row[2] == "ok" for row in report.rows)
+    assert rows["web_server"][6] == "admitted -> lambda-nic"
+    assert rows["kv_client"][6] == "admitted -> lambda-nic"
+    assert rows["image_transformer"][6] == "rerouted-wcet -> bare-metal"
+    # WCET columns are real cycle counts, ordered as measured.
+    assert rows["kv_client"][4] < rows["web_server"][4]
+    assert rows["image_transformer"][4] > 1_000_000
+    assert "verify" in report.format()
 
 
 def test_fault_recovery_storm_shapes():

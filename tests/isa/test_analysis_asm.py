@@ -37,16 +37,34 @@ def test_reachable_functions_follows_calls():
 
 
 def test_unreachable_code_after_ret():
+    # The label "after" is never a branch target, so the code behind it
+    # is just as dead as the instruction right after the ret.
     function = Function(
         "f",
         [ins(Op.RET), ins(Op.NOP), ins(Op.LABEL, "after"), ins(Op.NOP)],
     )
-    assert unreachable_code(function) == [1]
+    assert unreachable_code(function) == [1, 3]
 
 
 def test_unreachable_code_after_forward():
     function = Function("f", [ins(Op.FORWARD), ins(Op.MOV, "r1", 1)])
     assert unreachable_code(function) == [1]
+
+
+def test_unreachable_code_branch_target_stays_live():
+    # A targeted label resurrects its code; an untargeted one does not.
+    function = Function(
+        "f",
+        [
+            ins(Op.BEQ, "r1", 0, "taken"),
+            ins(Op.RET),
+            ins(Op.NOP),
+            ins(Op.LABEL, "taken"),
+            ins(Op.NOP),
+            ins(Op.RET),
+        ],
+    )
+    assert unreachable_code(function) == [2]
 
 
 def test_function_signature_ignores_labels():

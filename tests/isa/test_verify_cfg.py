@@ -1,0 +1,118 @@
+"""CFG construction: blocks, edges, loops, reachability."""
+
+from repro.isa import ProgramBuilder
+from repro.isa.verify import build_cfg
+
+
+def function_of(body_fn, name="f"):
+    builder = ProgramBuilder(name)
+    fn = builder.function(name)
+    body_fn(fn)
+    builder.close(fn)
+    return builder.build().functions[name]
+
+
+def test_straight_line_is_one_block():
+    cfg = build_cfg(function_of(
+        lambda f: f.mov("r1", 1).add("r2", "r1", 1).ret("r2")
+    ))
+    assert len(cfg.blocks) == 1
+    block = cfg.blocks[0]
+    assert block.succs == [] and block.is_exit
+    assert [index for index, _ in block.instructions] == [0, 1, 2]
+    assert cfg.is_acyclic()
+
+
+def test_diamond_edges_and_postorder():
+    def body(f):
+        f.mov("r1", 1)
+        f.beq("r1", 1, "then")
+        f.mov("r2", 0)
+        f.jmp("join")
+        f.label("then")
+        f.mov("r2", 1)
+        f.label("join")
+        f.ret("r2")
+
+    cfg = build_cfg(function_of(body))
+    entry = cfg.block(cfg.entry)
+    assert len(entry.succs) == 2  # taken + fallthrough
+    exits = cfg.exit_blocks()
+    assert len(exits) == 1
+    # Every block reaches the join: the diamond is fully reachable.
+    assert cfg.reachable() == {b.bid for b in cfg.blocks}
+    # Reverse postorder visits the entry first, the exit last.
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] == cfg.entry and rpo[-1] == exits[0].bid
+    assert cfg.is_acyclic()
+
+
+def test_loop_back_edge_and_natural_loop():
+    def body(f):
+        f.mov("r1", 0)
+        f.label("top")
+        f.add("r1", "r1", 1)
+        f.blt("r1", 10, "top")
+        f.ret("r1")
+
+    cfg = build_cfg(function_of(body))
+    back = cfg.back_edges()
+    assert len(back) == 1
+    source, header = back[0]
+    loop = cfg.natural_loop(source, header)
+    # The loop is the single body block branching back to itself.
+    assert source in loop and header in loop
+    assert not cfg.is_acyclic()
+
+
+def test_terminator_blocks_have_no_successors():
+    def body(f):
+        f.mov("r1", 1)
+        f.forward()
+        f.mov("r2", 2)  # dead
+        f.drop()
+
+    cfg = build_cfg(function_of(body))
+    first = cfg.block(cfg.block_at[1])
+    assert first.succs == [] and first.ends_machine
+    # The trailing code is its own (unreachable) block.
+    assert cfg.block_at[2] not in cfg.reachable()
+
+
+def test_labels_are_excluded_from_instruction_lists():
+    def body(f):
+        f.label("a")
+        f.mov("r1", 1)
+        f.label("b")
+        f.ret("r1")
+
+    cfg = build_cfg(function_of(body))
+    ops = [ins.op.value for block in cfg.blocks
+           for _, ins in block.instructions]
+    assert ops == ["mov", "ret"]
+
+
+def test_branch_to_missing_label_gets_no_edge():
+    from repro.isa import Function, Op, ins
+
+    function = Function("f", [
+        ins(Op.BEQ, "r1", 0, "nowhere"),
+        ins(Op.RET, 0),
+    ])
+    cfg = build_cfg(function)
+    entry = cfg.block(cfg.entry)
+    # Only the fallthrough edge: the missing target contributes nothing
+    # (program.validate() reports the label; the CFG stays well-formed).
+    assert len(entry.succs) == 1
+
+
+def test_call_is_not_a_block_boundary():
+    builder = ProgramBuilder("main")
+    helper = builder.function("h")
+    helper.ret(0)
+    builder.close(helper)
+    main = builder.function("main")
+    main.mov("r1", 1).call("h").add("r2", "r1", 1).ret("r2")
+    builder.close(main)
+    cfg = build_cfg(builder.build().functions["main"])
+    assert len(cfg.blocks) == 1

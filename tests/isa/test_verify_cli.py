@@ -1,0 +1,106 @@
+"""The standalone lint CLI: files, --workloads, --json, exit codes."""
+
+import json
+
+import pytest
+
+from repro.isa.verify.__main__ import main
+
+CLEAN = """\
+.lambda clean entry=clean
+.func clean
+    mov r1, 7
+    add r0, r1, 1
+    ret r0
+"""
+
+BUGGY = """\
+.lambda buggy entry=buggy
+.object buf size=64 access=read_write
+.func buggy
+    mov r1, 1
+    resolve r14, [buf+100]
+    store r14, [buf+100], r1
+    add r0, r9, 1
+    ret r0
+"""
+
+WARNY = """\
+.lambda warny entry=warny
+.func warny
+    mov r1, 7
+    ret r1
+    mov r2, 9
+"""
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "clean.asm", CLEAN)
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "clean: OK" in out
+    assert "wcet:" in out
+
+
+def test_buggy_file_exits_nonzero_with_locations(tmp_path, capsys):
+    path = write(tmp_path, "buggy.asm", BUGGY)
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "buggy: REJECTED" in out
+    assert "oob-store" in out and "buggy@2" in out
+    assert "uninit-read" in out and "buggy@3" in out
+
+
+def test_strict_promotes_warnings_to_failure(tmp_path):
+    path = write(tmp_path, "warny.asm", WARNY)
+    assert main([path]) == 0
+    assert main([path, "--strict"]) == 1
+
+
+def test_json_report_artifact(tmp_path):
+    clean = write(tmp_path, "clean.asm", CLEAN)
+    buggy = write(tmp_path, "buggy.asm", BUGGY)
+    artifact = tmp_path / "report.json"
+    assert main([clean, buggy, "--json", str(artifact)]) == 1
+    payload = json.loads(artifact.read_text())
+    assert [entry["program"] for entry in payload] == ["clean", "buggy"]
+    assert payload[0]["ok"] and not payload[1]["ok"]
+    codes = {f["code"] for f in payload[1]["findings"]}
+    assert {"oob-store", "uninit-read"} <= codes
+    # Findings carry machine-usable locations.
+    oob = next(f for f in payload[1]["findings"] if f["code"] == "oob-store")
+    assert oob["function"] == "buggy" and oob["index"] == 2
+
+
+def test_workloads_flag_covers_builtin_programs(capsys):
+    assert main(["--workloads", "--quiet"]) == 0
+    err = capsys.readouterr().err
+    assert "3 ok, 0 rejected" in err
+
+
+def test_unreadable_file_counts_as_failure(tmp_path, capsys):
+    assert main([str(tmp_path / "missing.asm")]) == 1
+    assert "failed to load" in capsys.readouterr().err
+
+
+def test_nothing_to_verify_is_an_error():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_shipped_examples_are_clean():
+    from pathlib import Path
+
+    examples = sorted(
+        str(p) for p in
+        (Path(__file__).resolve().parents[2] / "examples" /
+         "lambdas").glob("*.asm")
+    )
+    assert examples, "examples/lambdas/*.asm missing"
+    assert main(examples) == 0

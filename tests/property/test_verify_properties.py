@@ -1,0 +1,150 @@
+"""Property-based tests for the static-analysis layer.
+
+Two properties the verifier's soundness rests on:
+
+* every dataflow fixpoint terminates on arbitrary (fuzzed) CFGs —
+  including irreducible flow graphs the builder would never emit;
+* constant propagation agrees exactly with the interpreter on
+  straight-line programs (where the all-NAC entry state plus concrete
+  ``mov`` seeds make every register's value statically known).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Function, Interpreter, Op, ProgramBuilder, ins
+from repro.isa.verify import (
+    NAC,
+    build_cfg,
+    constant_states,
+    dead_stores,
+    estimate_wcet,
+    reaching_definitions,
+    uninitialized_reads,
+    verify_program,
+)
+
+_REGISTERS = [f"r{i}" for i in range(4)]
+_ALU = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.MIN, Op.MAX]
+
+
+@st.composite
+def fuzzed_function(draw):
+    """An arbitrary function body: random ALU ops, branches to random
+    labels (always defined), random terminators. The CFG may contain
+    arbitrary cycles and unreachable islands."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    n_labels = draw(st.integers(min_value=1, max_value=5))
+    labels = [f"L{i}" for i in range(n_labels)]
+    body = []
+    for _ in range(n):
+        kind = draw(st.integers(0, 5))
+        if kind == 0:
+            body.append(ins(Op.LABEL, draw(st.sampled_from(labels))))
+        elif kind == 1:
+            body.append(ins(Op.JMP, draw(st.sampled_from(labels))))
+        elif kind == 2:
+            body.append(ins(
+                draw(st.sampled_from([Op.BEQ, Op.BNE, Op.BLT, Op.BGE])),
+                draw(st.sampled_from(_REGISTERS)),
+                draw(st.integers(0, 7)),
+                draw(st.sampled_from(labels)),
+            ))
+        elif kind == 3:
+            body.append(ins(
+                draw(st.sampled_from(_ALU)),
+                draw(st.sampled_from(_REGISTERS)),
+                draw(st.sampled_from(_REGISTERS)),
+                draw(st.one_of(st.sampled_from(_REGISTERS),
+                               st.integers(0, 100))),
+            ))
+        elif kind == 4:
+            body.append(ins(Op.MOV, draw(st.sampled_from(_REGISTERS)),
+                            draw(st.integers(0, 100))))
+        else:
+            body.append(ins(
+                draw(st.sampled_from([Op.RET, Op.FORWARD, Op.DROP])),
+            ))
+    # Ensure every label used exists (duplicates are fine for the CFG;
+    # labels() keeps the last occurrence, like the interpreter).
+    present = {i.args[0] for i in body if i.op is Op.LABEL}
+    for label in labels:
+        if label not in present:
+            body.append(ins(Op.LABEL, label))
+    body.append(ins(Op.RET, 0))
+    return Function("fuzz", body)
+
+
+@given(function=fuzzed_function())
+@settings(max_examples=120, deadline=None)
+def test_fixpoints_terminate_on_fuzzed_cfgs(function):
+    """No analysis may diverge, whatever the control flow looks like."""
+    cfg = build_cfg(function)
+    # Structural invariants first.
+    for block in cfg.blocks:
+        for succ in block.succs:
+            assert block.bid in cfg.blocks[succ].preds
+    assert set(cfg.postorder()) == cfg.reachable()
+
+    # Every solver reaches a fixpoint (FixpointError would propagate).
+    reaching_definitions(function, cfg)
+    consts = constant_states(function, cfg=cfg)
+    # Reachable instructions have a state; unreachable ones do not.
+    reachable_indices = {
+        index
+        for bid in cfg.reachable()
+        for index, _ in cfg.blocks[bid].instructions
+    }
+    assert set(consts.instr_in) == reachable_indices
+
+
+@given(function=fuzzed_function())
+@settings(max_examples=60, deadline=None)
+def test_whole_program_analyses_terminate(function):
+    from repro.isa import LambdaProgram
+
+    program = LambdaProgram("fuzz", [function])
+    uninitialized_reads(program)
+    dead_stores(program)
+    estimate_wcet(program)
+    # The full pipeline tolerates anything the fuzzer produces; it may
+    # reject the program, but it must return a report.
+    report = verify_program(program)
+    assert report.program == "fuzz"
+
+
+@st.composite
+def straight_line_program(draw):
+    """mov-seeded straight-line ALU program; every value is static."""
+    builder = ProgramBuilder("line")
+    fn = builder.function("line")
+    for reg in _REGISTERS:
+        fn.mov(reg, draw(st.integers(0, 1000)))
+    n = draw(st.integers(min_value=1, max_value=15))
+    for _ in range(n):
+        op = draw(st.sampled_from(_ALU + [Op.SHL, Op.SHR]))
+        dst = draw(st.sampled_from(_REGISTERS))
+        a = draw(st.sampled_from(_REGISTERS))
+        if op in (Op.SHL, Op.SHR):
+            b = draw(st.integers(0, 8))
+        else:
+            b = draw(st.one_of(st.sampled_from(_REGISTERS),
+                               st.integers(0, 1000)))
+        fn.emit(op, dst, a, b)
+    ret_reg = draw(st.sampled_from(_REGISTERS))
+    fn.ret(ret_reg)
+    builder.close(fn)
+    return builder.build(), ret_reg
+
+
+@given(case=straight_line_program())
+@settings(max_examples=120, deadline=None)
+def test_constprop_agrees_with_interpreter_on_straight_line(case):
+    program, ret_reg = case
+    function = program.functions["line"]
+    consts = constant_states(function)
+    ret_index = len(function.body) - 1
+    predicted = consts.value_before(ret_index, ret_reg)
+    assert predicted is not NAC, "fully-seeded program must fold"
+    observed = Interpreter().run(program).return_value
+    assert predicted == observed
