@@ -7,6 +7,7 @@ from . import (
     fig8_contention,
     fig9_optimizer,
     micro_reorder,
+    migration_storm,
     perf,
     table1_nic_types,
     table3_resources,
@@ -33,6 +34,7 @@ ALL_EXPERIMENTS = {
     "fig9": fig9_optimizer.run,
     "reorder": micro_reorder.run,
     "fault_recovery": fault_recovery.run,
+    "migration_storm": migration_storm.run,
     "perf": perf.run,
     "verify": verify_lambdas.run,
 }
@@ -59,6 +61,7 @@ __all__ = [
     "fig9_optimizer",
     "mib",
     "micro_reorder",
+    "migration_storm",
     "perf",
     "run_all",
     "run_scenario",

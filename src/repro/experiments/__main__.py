@@ -2,7 +2,8 @@
 
 Regenerates the requested experiments (default: all) and prints the
 paper-vs-measured reports. With ``--trace PATH``, experiments that
-support span tracing (fig6, fig7, fault_recovery) also write a
+support span tracing (fig6, fig7, fault_recovery, migration_storm)
+also write a
 Perfetto-loadable Chrome trace to PATH and the flat span records to
 ``PATH`` with a ``.spans.jsonl`` suffix; when several traced
 experiments are selected each gets its own pair of files, suffixed
@@ -15,7 +16,7 @@ import sys
 from . import ALL_EXPERIMENTS, DEFAULT_CONFIG, FAST_CONFIG
 
 #: Experiments whose drivers collect spans when ``config.trace`` is set.
-TRACED_EXPERIMENTS = ("fig6", "fig7", "fault_recovery")
+TRACED_EXPERIMENTS = ("fig6", "fig7", "fault_recovery", "migration_storm")
 
 
 def _parse_args(argv):

@@ -1,0 +1,264 @@
+"""Migration storm: live migrations under fault injection.
+
+The robustness experiment for the "one resource pool" control plane
+(Issue 6): all three workloads deploy on λ-NIC with warm bare-metal
+standbys, open-loop load runs throughout, and two storms overlap:
+
+* a *migration* storm — scripted live migrations (NIC → host, host →
+  NIC, NIC → NIC) driven through the
+  :class:`~repro.serverless.migration.MigrationController`'s state
+  machine, some deliberately aimed at targets a fault has just killed
+  (those must roll back to a serving source);
+* a *fault* storm — NIC kills, island losses, link flaps, and a Raft
+  leader crash from a scripted
+  :class:`~repro.faults.FaultPlan`, including a full λ-NIC outage that
+  the health monitor answers with *forced* migrations (degrade), then
+  reverses (restore) when power returns.
+
+The contract under test: no request is lost or duplicated (exactly-once
+observable responses — held requests drain into the post-cutover route,
+dual-routed copies dedup by request id), per-workload availability
+stays ≥ 99 %, a failed migration leaves the source serving, and the
+whole run is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults import FaultPlan
+from ..obs import TraceCollection
+from ..serverless import Testbed, open_loop
+from ..workloads import standard_workloads
+from .calibration import DEFAULT_CONFIG, WORKLOAD_NAMES, ExperimentConfig
+from .harness import Cell, ExperimentReport
+
+#: Gateway tuned for fast failure detection (same stance as the fault
+#: recovery storm: short timeouts, aggressive retries, quick breakers).
+GATEWAY_KWARGS = dict(
+    request_timeout=0.25,
+    max_retries=8,
+    backoff_base=0.05,
+    backoff_max=0.5,
+    breaker_threshold=3,
+    breaker_reset_timeout=0.5,
+)
+
+#: Migration controller stance for the storm: short drains so held
+#: requests see a bounded latency bump even when cutover races a fault.
+MIGRATION_KWARGS = dict(
+    drain_timeout=0.5,
+    drain_poll_seconds=0.002,
+)
+
+SETTLE_SECONDS = 5.0
+AFTER_SECONDS = 10.0
+
+
+def build_plan(t0: float) -> FaultPlan:
+    """The fault half of the storm, offset from ``t0``."""
+    return (
+        FaultPlan()
+        # One NIC dies while a live migration is in flight elsewhere.
+        .kill_nic(t0 + 6.0, "m2-nic")
+        # Partial capacity loss on the survivor.
+        .kill_island(t0 + 9.0, "m3-nic", island=0)
+        .restore_island(t0 + 11.0, "m3-nic", island=0)
+        .restore_nic(t0 + 12.0, "m2-nic")
+        # The other NIC dies right as migrations target it.
+        .kill_nic(t0 + 14.0, "m3-nic")
+        .restore_nic(t0 + 17.0, "m3-nic")
+        # A transient cable pull mid-migration; retries ride it out.
+        .link_flap(t0 + 20.0, "m3-nic", down_for=0.5)
+        # Control-plane churn: the journal substrate loses its leader.
+        .crash_raft(t0 + 22.0, "leader")
+        # Full λ-NIC outage: every NIC workload force-migrates to the
+        # warm bare-metal standby, then restores when power returns.
+        .kill_nic(t0 + 26.0, "m2-nic")
+        .kill_nic(t0 + 26.0, "m3-nic")
+        .restore_nic(t0 + 30.0, "m2-nic")
+        .restore_nic(t0 + 30.0, "m3-nic")
+    )
+
+
+def migration_schedule(t0: float):
+    """(fire time, workload, kwargs) for the scripted live migrations.
+
+    Interleaved with :func:`build_plan` so some land on healthy
+    substrate (must COMPLETE) and some race a fault (must roll back or
+    complete off the survivor — never lose the route).
+    """
+    return [
+        # Clean live NIC -> host migration under load.
+        (t0 + 3.0, "web_server",
+         dict(target_kind="bare-metal", reason="storm")),
+        # Back home while m2-nic is dead: cutover lands on m3-nic.
+        (t0 + 8.0, "web_server",
+         dict(target_kind="lambda-nic", reason="storm")),
+        # NIC -> NIC aimed at the dead m2-nic: must roll back.
+        (t0 + 10.0, "kv_client",
+         dict(target_kind="lambda-nic", target="m2-nic", reason="storm")),
+        # NIC -> NIC onto the restored m2-nic: completes, ships state.
+        (t0 + 13.0, "kv_client",
+         dict(target_kind="lambda-nic", target="m2-nic", reason="storm")),
+        # Host-bound migration racing the m3-nic kill.
+        (t0 + 15.0, "image_transformer",
+         dict(target_kind="bare-metal", reason="storm")),
+        # And home again once the fleet recovers.
+        (t0 + 18.5, "image_transformer",
+         dict(target_kind="lambda-nic", reason="storm")),
+        # A migration during the Raft leader election: the journal is
+        # best-effort, the data path must not stall.
+        (t0 + 23.0, "web_server",
+         dict(target_kind="bare-metal", reason="storm")),
+        (t0 + 24.5, "web_server",
+         dict(target_kind="lambda-nic", reason="storm")),
+    ]
+
+
+def run_storm(seed: int = 42, rate_rps: float = 25.0,
+              after_rate_rps: Optional[float] = None,
+              trace: bool = False) -> dict:
+    """Run the combined storm; returns raw results for reporting.
+
+    The returned dict has ``during`` / ``after`` ({workload:
+    LoadResult}), ``trace`` (fired faults), ``events`` (failover
+    actions), ``migrations`` (every Migration attempted), ``mttf``,
+    and the testbed itself.
+    """
+    tb = Testbed(
+        seed=seed, n_workers=2, with_etcd=True, with_failover=True,
+        with_migration=True, with_tracing=trace,
+        gateway_kwargs=dict(GATEWAY_KWARGS),
+        migration_kwargs=dict(MIGRATION_KWARGS),
+    )
+    tb.add_lambda_nic_backend()
+    tb.add_bare_metal_backend()
+    specs = [standard_workloads()[name] for name in WORKLOAD_NAMES]
+    after_rate = after_rate_rps if after_rate_rps is not None else rate_rps
+
+    def load_phase(phase: str, duration: float):
+        procs = {}
+        for spec in specs:
+            procs[spec.name] = open_loop(
+                tb.env, tb.gateway, spec.name,
+                rate_rps=rate_rps if phase == "during" else after_rate,
+                duration=duration,
+                rng=tb.rng.stream(f"load:{phase}:{spec.name}"),
+                payload_bytes=spec.request_bytes if spec.uses_rdma else None,
+            )
+        return procs
+
+    def migration_driver(env, t0):
+        for at, workload, kwargs in migration_schedule(t0):
+            delay = at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            # Fire and keep walking the schedule: a slow migration must
+            # not delay the next one (they target different workloads).
+            tb.migrator.migrate(workload, **kwargs)
+
+    def scenario(env):
+        yield tb.etcd_cluster.wait_for_leader()
+        for spec in specs:
+            yield tb.manager.deploy(spec, "lambda-nic")
+        for spec in specs:
+            yield tb.manager.prepare_standby(spec.name, "bare-metal")
+
+        t0 = env.now
+        plan = build_plan(t0)
+        tb.add_fault_injector(plan)
+        env.process(migration_driver(env, t0))
+
+        during_procs = load_phase(
+            "during", (plan.horizon - env.now) + SETTLE_SECONDS
+        )
+        yield env.all_of(list(during_procs.values()))
+        during = {name: proc.value for name, proc in during_procs.items()}
+
+        after_procs = load_phase("after", AFTER_SECONDS)
+        yield env.all_of(list(after_procs.values()))
+        after = {name: proc.value for name, proc in after_procs.items()}
+        return during, after
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    during, after = process.value
+    return {
+        "testbed": tb,
+        "during": during,
+        "after": after,
+        "trace": list(tb.injector.trace),
+        "events": list(tb.health.events),
+        "migrations": list(tb.migrator.migrations),
+        "mttf": tb.health.mean_time_to_failover(),
+    }
+
+
+def availability(result) -> float:
+    """Fraction of issued requests that completed (1.0 == no failures)."""
+    issued = result.completed + result.failures
+    return result.completed / issued if issued else 1.0
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """The registered experiment entry point."""
+    config = config or DEFAULT_CONFIG
+    storm = run_storm(seed=config.seed, trace=config.trace)
+    collection = None
+    if config.trace:
+        collection = TraceCollection()
+        collection.add("storm", storm["testbed"].tracer)
+
+    tb = storm["testbed"]
+    cells = {}
+    rows = []
+    for name in WORKLOAD_NAMES:
+        during, after = storm["during"][name], storm["after"][name]
+        n_migrations = sum(
+            1 for m in storm["migrations"] if m.workload == name)
+        cells[name] = Cell(
+            workload=name, backend="lambda-nic",
+            mean=during.mean_latency, p50=during.percentile(50),
+            p99=during.percentile(99),
+            samples=sorted(during.latencies),
+            extra={
+                "availability": availability(during),
+                "after_p99": after.percentile(99),
+                "migrations": n_migrations,
+            },
+        )
+        rows.append([
+            name,
+            100.0 * availability(during),
+            during.percentile(99) * 1e3,
+            after.percentile(99) * 1e3,
+            n_migrations,
+            during.failures,
+        ])
+
+    migrations = storm["migrations"]
+    n_completed = sum(1 for m in migrations if m.outcome == "completed")
+    n_rolled = sum(1 for m in migrations if m.outcome == "rolled-back")
+    held = tb.gateway.held_requests_total.total
+    dupes = tb.gateway.duplicate_responses_total.total
+    state_bytes = tb.migrator.state_bytes_total.total
+    report = ExperimentReport(
+        experiment="Migration storm",
+        title="live NIC↔host migration under fault injection",
+        headers=["workload", "avail_pct", "p99_ms_during", "p99_ms_after",
+                 "migrations", "failed"],
+        rows=rows,
+        notes=[
+            f"{len(migrations)} migrations ({n_completed} completed, "
+            f"{n_rolled} rolled back); {len(storm['trace'])} faults fired; "
+            f"{len(storm['events'])} failover actions; "
+            f"mean time-to-failover {storm['mttf'] * 1e3:.1f} ms",
+            f"{int(held)} requests held during drains, "
+            f"{int(dupes)} duplicate responses absorbed, "
+            f"{int(state_bytes)} state bytes shipped",
+        ],
+        cells=cells,
+        trace=collection,
+    )
+    return report

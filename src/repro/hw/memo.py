@@ -49,6 +49,7 @@ class MemoCacheStats:
     uncacheable: int = 0
     invalidations: int = 0
     evictions: int = 0
+    fences: int = 0
 
     @property
     def lookups(self) -> int:
@@ -162,3 +163,11 @@ class ExecutionMemoCache:
         if self._entries:
             self._entries.clear()
         self.stats.invalidations += 1
+
+    def fence(self) -> None:
+        """Migration epoch fence: a state import replaced persistent
+        memory wholesale, so every cached result is suspect. Tracked
+        separately from routine invalidations so migration tests can
+        assert the fence actually fired."""
+        self.stats.fences += 1
+        self.invalidate()

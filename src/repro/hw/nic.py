@@ -185,6 +185,12 @@ class SmartNIC:
         self.firmware: Optional[Firmware] = None
         self._wid_to_lambda: Dict[int, str] = {}
         self._lambda_memory: Dict[str, bytearray] = {}
+        #: Monotone persistent-state version: bumped by every write to
+        #: lambda memory (impure executions, RDMA DMA, firmware
+        #: installs, direct access). Live migration exports state at an
+        #: epoch and re-checks it after the transfer — an unchanged
+        #: epoch proves the snapshot is still current (the fence).
+        self.state_epoch = 0
         self._swapping = False
         #: RDMA queue-pair bindings: qp -> (lambda name, object name).
         self._rdma_bindings: Dict[int, Tuple[str, str]] = {}
@@ -246,8 +252,7 @@ class SmartNIC:
             obj.name: bytearray(obj.size_bytes)
             for obj in program.objects.values()
         }
-        if self.memo is not None:
-            self.memo.invalidate()
+        self._state_written()
 
     def bind_rdma(self, qp: int, lambda_name: str, object_name: str,
                   buffer_pool: int = 1) -> None:
@@ -274,9 +279,65 @@ class SmartNIC:
         potential write for the memo cache.
         """
         data = self._lambda_memory[object_name]
+        self._state_written()
+        return data
+
+    def _state_written(self) -> None:
+        """Every persistent-memory write funnels through here: bump
+        the migration epoch fence and drop memoised results."""
+        self.state_epoch += 1
         if self.memo is not None:
             self.memo.invalidate()
-        return data
+
+    # -- live-migration state transfer ----------------------------------------
+
+    def export_lambda_state(self, workload: str) -> \
+            Optional[Tuple[int, Dict[str, bytes]]]:
+        """Snapshot one lambda's persistent memory objects.
+
+        Returns ``(epoch, {qualified_name: bytes})`` — the epoch is the
+        NIC-wide :attr:`state_epoch` at snapshot time; the migration
+        controller re-reads it after shipping the bytes and retries if
+        anything wrote in between. Returns ``None`` when the NIC is
+        dark (an offline NIC's DRAM cannot be read over PCIe) or has no
+        firmware.
+        """
+        if not self.online or self.firmware is None:
+            return None
+        prefix = workload + "."
+        objects = {
+            name: bytes(data)
+            for name, data in self._lambda_memory.items()
+            if name.startswith(prefix)
+        }
+        return (self.state_epoch, objects)
+
+    def import_lambda_state(self, workload: str,
+                            objects: Dict[str, bytes]) -> int:
+        """Install exported persistent state for ``workload``.
+
+        Only objects the resident firmware actually declares are
+        written (truncated to their declared size); unknown names are
+        ignored so firmware-version skew degrades to a partial import,
+        not corruption. Returns bytes written. The import is a fence:
+        it bumps :attr:`state_epoch` and flushes the memo cache.
+        """
+        if not self.online:
+            raise RuntimeError(f"{self.name} cannot import state while dark")
+        if self.firmware is None:
+            raise RuntimeError(f"{self.name} has no firmware to import into")
+        written = 0
+        for name, blob in objects.items():
+            target = self._lambda_memory.get(name)
+            if target is None:
+                continue
+            n = min(len(blob), len(target))
+            target[:n] = blob[:n]
+            written += n
+        self.state_epoch += 1
+        if self.memo is not None:
+            self.memo.fence()
+        return written
 
     @property
     def busy_threads(self) -> int:
@@ -419,11 +480,10 @@ class SmartNIC:
             program, headers=headers, meta=meta,
             memory=self._lambda_memory,
         )
-        if memo is not None:
-            if wrote_memory:
-                memo.invalidate()
-            else:
-                memo.put(key, result)
+        if wrote_memory:
+            self._state_written()
+        elif memo is not None:
+            memo.put(key, result)
         return result
 
     @staticmethod
@@ -622,8 +682,7 @@ class SmartNIC:
         target = self._lambda_memory[object_name]
         # The DMA below writes persistent memory behind the engine's
         # back; cached results may depend on the old contents.
-        if self.memo is not None:
-            self.memo.invalidate()
+        self._state_written()
         offset = 0
         total_len = 0
         for segment in ordered:

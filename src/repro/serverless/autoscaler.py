@@ -34,6 +34,7 @@ class AutoScaler:
         check_interval: float = 1.0,
         target_rps_per_replica: float = 100.0,
         min_replicas: int = 1,
+        scorer=None,
     ) -> None:
         if not worker_pool:
             raise ValueError("autoscaler needs a worker pool")
@@ -42,6 +43,10 @@ class AutoScaler:
         self.env = env
         self.gateway = gateway
         self.worker_pool = list(worker_pool)
+        #: Optional PlacementScorer: replicas are then placed on the
+        #: workers with the most WCET-predicted headroom instead of
+        #: pool order (Issue 6 satellite — ROADMAP PR 5 follow-up).
+        self.scorer = scorer
         self.check_interval = check_interval
         self.target_rps_per_replica = target_rps_per_replica
         self.min_replicas = min_replicas
@@ -61,6 +66,24 @@ class AutoScaler:
 
         wanted = math.ceil(rate_rps / self.target_rps_per_replica)
         return max(self.min_replicas, min(self.max_replicas, wanted))
+
+    def _pick_workers(self, workload: str, desired: int) -> List[str]:
+        """The ``desired`` best workers for ``workload``.
+
+        Pool order (the legacy round-robin placement) unless a scorer
+        is attached, in which case workers are ranked by predicted
+        headroom: verifier WCET × observed rate against live load.
+        """
+        if self.scorer is None:
+            return self.worker_pool[:desired]
+        try:
+            kind = self.scorer.manager.record(workload).backend_kind
+            ranked = self.scorer.rank(workload, kind, self.worker_pool)
+        except KeyError:
+            # Workload or targets unknown to the scorer's backend view
+            # (e.g. a bare route with no deployment record).
+            return self.worker_pool[:desired]
+        return ranked[:desired]
 
     def start(self):
         """Process: run the control loop until the simulation ends."""
@@ -88,7 +111,7 @@ class AutoScaler:
             desired = self.desired_replicas(rate)
             route = self.gateway.route_for(workload)
             if desired != len(route.targets):
-                route.targets = self.worker_pool[:desired]
+                route.targets = self._pick_workers(workload, desired)
                 route._rr = None  # reset round robin over the new set
                 decision = ScalingDecision(self.env.now, workload, rate, desired)
                 self.decisions.append(decision)

@@ -9,8 +9,8 @@ to whatever targets the backend reports.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..core import LambdaNicRuntime, MatchLambdaWorkload, RdmaBinding
 from ..host import BareMetalRuntime, ContainerRuntime, HostServer, Runtime
@@ -33,6 +33,25 @@ class DeployResult:
     rdma_qp: Optional[int] = None
     package_bytes: int = 0
     startup_seconds: float = 0.0
+
+
+@dataclass
+class StateSnapshot:
+    """A lambda's exported persistent state, pinned to an epoch.
+
+    ``epoch`` is the source's state version at export time; the
+    migration controller re-reads the source epoch after shipping the
+    bytes and re-exports if they diverged (the epoch fence).
+    """
+
+    workload: str
+    source: str
+    epoch: int
+    objects: Dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(blob) for blob in self.objects.values())
 
 
 class Backend:
@@ -65,6 +84,38 @@ class Backend:
         """
         return self.targets
 
+    # -- live migration hooks ----------------------------------------------
+
+    def export_state(self, workload: str,
+                     target: Optional[str] = None) -> Optional[StateSnapshot]:
+        """Snapshot ``workload``'s persistent state, or ``None``.
+
+        ``None`` means "nothing to ship": either this substrate keeps
+        no migratable persistent state (host runtimes rebuild theirs on
+        start) or the source is dark and unreadable. The controller
+        treats both as a state-less cutover.
+        """
+        return None
+
+    def import_state(self, workload: str, snapshot: StateSnapshot,
+                     target: Optional[str] = None) -> int:
+        """Install an exported snapshot; returns bytes written."""
+        return 0
+
+    def state_epoch(self, workload: str,
+                    target: Optional[str] = None) -> Optional[int]:
+        """Current state version at the source, for the epoch fence."""
+        return None
+
+    def target_load(self, target: str) -> Tuple[int, int]:
+        """(busy execution slots, total slots) at ``target``.
+
+        Placement scoring turns this into headroom; the abstract
+        fallback reports an idle single slot so substrates without a
+        load signal still sort deterministically.
+        """
+        return (0, 1)
+
 
 class HostBackend(Backend):
     """Shared logic for the container and bare-metal backends."""
@@ -86,6 +137,14 @@ class HostBackend(Backend):
 
     def healthy_targets(self) -> List[str]:
         return [server.name for server in self.servers if server.online]
+
+    def target_load(self, target: str) -> Tuple[int, int]:
+        for server in self.servers:
+            if server.name == target:
+                cpu = server.cpu
+                return (cpu.busy_threads + cpu.run_queue_length,
+                        cpu.n_threads)
+        raise KeyError(f"{self.kind} backend has no target {target!r}")
 
     def runtime(self) -> Runtime:
         return self.runtime_factory()
@@ -172,6 +231,44 @@ class LambdaNicBackend(Backend):
 
     def healthy_targets(self) -> List[str]:
         return [nic.name for nic in self.runtime.nics if nic.serving]
+
+    def _nic(self, target: str):
+        for nic in self.runtime.nics:
+            if nic.name == target:
+                return nic
+        raise KeyError(f"lambda-nic backend has no NIC {target!r}")
+
+    def _source_nics(self, target: Optional[str]) -> List:
+        if target is not None:
+            return [self._nic(target)]
+        return [nic for nic in self.runtime.nics if nic.serving]
+
+    def export_state(self, workload: str,
+                     target: Optional[str] = None) -> Optional[StateSnapshot]:
+        for nic in self._source_nics(target):
+            exported = nic.export_lambda_state(workload)
+            if exported is not None:
+                epoch, objects = exported
+                return StateSnapshot(workload, nic.name, epoch, objects)
+        return None
+
+    def import_state(self, workload: str, snapshot: StateSnapshot,
+                     target: Optional[str] = None) -> int:
+        written = 0
+        for nic in self._source_nics(target):
+            written += nic.import_lambda_state(workload, snapshot.objects)
+        return written
+
+    def state_epoch(self, workload: str,
+                    target: Optional[str] = None) -> Optional[int]:
+        for nic in self._source_nics(target):
+            if nic.export_lambda_state(workload) is not None:
+                return nic.state_epoch
+        return None
+
+    def target_load(self, target: str) -> Tuple[int, int]:
+        nic = self._nic(target)
+        return (nic.busy_threads, nic.total_threads)
 
     def package_bytes(self, spec: WorkloadSpec) -> int:
         if self.runtime.firmware is not None:

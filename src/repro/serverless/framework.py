@@ -24,6 +24,7 @@ from .backends import BareMetalBackend, ContainerBackend, LambdaNicBackend
 from .gateway import Gateway
 from .manager import WorkloadManager
 from .metrics import MetricsRegistry
+from .migration import MigrationController, MigrationPolicy, PlacementScorer
 from .monitor import HealthMonitor, MonitoringEngine, WatchService
 from .storage import ObjectStorage
 
@@ -45,10 +46,12 @@ class Testbed:
         with_monitoring: bool = False,
         with_failover: bool = False,
         with_tracing: bool = False,
+        with_migration: bool = False,
         gateway_kwargs: Optional[dict] = None,
         nic_kwargs: Optional[dict] = None,
         manager_kwargs: Optional[dict] = None,
         failover_kwargs: Optional[dict] = None,
+        migration_kwargs: Optional[dict] = None,
     ) -> None:
         if not 1 <= n_workers <= len(WORKERS):
             raise ValueError(f"n_workers must be in [1, {len(WORKERS)}]")
@@ -102,11 +105,32 @@ class Testbed:
             self.watch = WatchService(self.env, self.gateway)
             self.monitoring.start()
             self.watch.start()
-        # Failover driver (health-checked routes + degradation).
+        # Live migration control plane (Issue 6): the scorer ranks
+        # targets by WCET headroom; the controller runs the PLANNED →
+        # ... → CUTOVER state machine; the policy (optional, needs
+        # monitoring) drives it from runtime signals.
+        self.scorer: Optional[PlacementScorer] = None
+        self.migrator: Optional[MigrationController] = None
+        self.migration_policy: Optional[MigrationPolicy] = None
+        if with_migration:
+            self.scorer = PlacementScorer(self.manager,
+                                          monitoring=self.monitoring)
+            self.migrator = MigrationController(
+                self.env, self.manager, self.gateway, scorer=self.scorer,
+                etcd=etcd_client, metrics=self.metrics,
+                **(migration_kwargs or {}),
+            )
+            self.migration_policy = MigrationPolicy(
+                self.env, self.manager, self.gateway,
+                monitoring=self.monitoring, scorer=self.scorer,
+            )
+        # Failover driver (health-checked routes + degradation). With
+        # migration enabled, degrade/restore run as forced migrations.
         self.health: Optional[HealthMonitor] = None
         if with_failover:
             self.health = HealthMonitor(
                 self.env, self.gateway, self.manager,
+                migrator=self.migrator,
                 **(failover_kwargs or {}),
             )
             self.health.start()
@@ -176,6 +200,8 @@ class Testbed:
         """Attach (and by default start) a fault injector for ``plan``."""
         self.injector = FaultInjector(self.env, self, plan,
                                       metrics=self.metrics)
+        if self.migration_policy is not None:
+            self.migration_policy.attach(self.injector)
         if start:
             self.injector.start()
         return self.injector

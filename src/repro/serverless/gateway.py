@@ -13,6 +13,7 @@ in Table 2 (the NIC itself is far from saturated).
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -64,6 +65,10 @@ class GatewayTimeout(Exception):
     """A request exhausted its retries."""
 
 
+#: Upper bound on remembered dual-routed request ids (dedup window).
+MIRROR_DEDUP_WINDOW = 4096
+
+
 class Gateway:
     """Request proxy + response matcher on the master node."""
 
@@ -105,6 +110,18 @@ class Gateway:
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._ids = itertools.count(1)
         self._pending: Dict[int, Any] = {}
+        #: Migration draining state: workloads whose new requests are
+        #: queued behind an event (released at cutover or rollback).
+        self._holds: Dict[str, Any] = {}
+        #: Dual-route overlays: workload -> shadow Route on the
+        #: migration target (same request ids, deduped on response).
+        self._mirrors: Dict[str, Route] = {}
+        #: request_id -> outstanding copies for dual-routed requests;
+        #: bounded LRU so a dead mirror target cannot grow it.
+        self._mirrored: "OrderedDict[int, int]" = OrderedDict()
+        #: Per-workload requests sent and awaiting a response (held
+        #: requests are *not* counted — draining waits on this).
+        self._outstanding: Dict[str, int] = {}
         self.latency_histogram = self.metrics.histogram(
             "gateway_request_seconds", "end-to-end request latency"
         )
@@ -120,6 +137,18 @@ class Gateway:
         self.late_responses_total = self.metrics.counter(
             "gateway_late_responses_total",
             "responses that arrived after their waiter timed out",
+        )
+        self.held_requests_total = self.metrics.counter(
+            "gateway_held_requests_total",
+            "requests queued behind a migration drain hold",
+        )
+        self.duplicate_responses_total = self.metrics.counter(
+            "gateway_duplicate_responses_total",
+            "dual-routed responses deduplicated by request id",
+        )
+        self.mirrored_requests_total = self.metrics.counter(
+            "gateway_mirrored_requests_total",
+            "request copies sent to a migration mirror target",
         )
         self.probes_total = self.metrics.counter(
             "gateway_probes_total", "health-probe requests sent"
@@ -159,6 +188,59 @@ class Gateway:
     @property
     def workloads(self) -> List[str]:
         return sorted(self._routes)
+
+    # -- migration draining (holds, mirrors, dedup) ------------------------
+
+    def hold_route(self, workload: str) -> None:
+        """Queue new requests for ``workload`` until :meth:`release_route`.
+
+        Loss-free draining: held requests are parked *before* any send,
+        so none of them can be answered by a quiescing source; at
+        release they re-read the (possibly re-pointed) route and
+        proceed. Idempotent.
+        """
+        if workload not in self._holds:
+            self._holds[workload] = self.env.event()
+
+    def release_route(self, workload: str) -> None:
+        """Release any held requests for ``workload``. Idempotent."""
+        hold = self._holds.pop(workload, None)
+        if hold is not None and not hold.triggered:
+            hold.succeed()
+
+    def held(self, workload: str) -> bool:
+        return workload in self._holds
+
+    def mirror_route(self, workload: str, wid: int, targets: List[str],
+                     rdma_qp: Optional[int] = None) -> None:
+        """Dual-route: copy each request to the migration target too.
+
+        Copies share the original request id; the first response wins
+        and later ones are absorbed by the request-id dedup (counted in
+        ``gateway_duplicate_responses_total``), so clients observe
+        exactly one response per request.
+        """
+        if not targets:
+            raise ValueError(f"mirror for {workload!r} needs targets")
+        self._mirrors[workload] = Route(workload, wid, list(targets), rdma_qp)
+
+    def clear_mirror(self, workload: str) -> None:
+        """Stop dual-routing ``workload``. Idempotent."""
+        self._mirrors.pop(workload, None)
+
+    def inflight(self, workload: str) -> int:
+        """Requests sent for ``workload`` still awaiting a response.
+
+        Held (queued) requests are excluded: this is the quantity a
+        drain waits to reach zero.
+        """
+        return self._outstanding.get(workload, 0)
+
+    def _register_mirrored(self, request_id: int, copies: int) -> None:
+        self._mirrored[request_id] = copies
+        self._mirrored.move_to_end(request_id)
+        while len(self._mirrored) > MIRROR_DEDUP_WINDOW:
+            self._mirrored.popitem(last=False)
 
     # -- health / circuit breaking ----------------------------------------
 
@@ -266,8 +348,21 @@ class Gateway:
         header = packet.headers.get("LambdaHeader")
         if header is None or not header.is_response:
             return
-        waiter = self._pending.pop(header.request_id, None)
+        request_id = header.request_id
+        copies = self._mirrored.get(request_id)
+        if copies is not None:
+            if copies <= 1:
+                self._mirrored.pop(request_id, None)
+            else:
+                self._mirrored[request_id] = copies - 1
+        waiter = self._pending.pop(request_id, None)
         if waiter is None or waiter.triggered:
+            if copies is not None:
+                # A dual-routed copy already answered this request:
+                # absorb the duplicate so the caller observes exactly
+                # one response.
+                self.duplicate_responses_total.inc()
+                return
             # The waiter was already popped on timeout (or resolved):
             # this response raced its retry and must not vanish
             # silently — it is the signal that the backend is alive
@@ -292,7 +387,23 @@ class Gateway:
         )
         retries = 0
         start = None
-        route = self.route_for(workload)
+        hold = self._holds.get(workload)
+        if hold is not None and not hold.triggered:
+            # A migration drain is in progress: queue behind it. The
+            # wait counts toward measured latency (the client is
+            # waiting), so draining shows up as a bounded p99 bump.
+            self.held_requests_total.inc(labels={"workload": workload})
+            start = self.env.now
+            yield hold
+            try:
+                route = self.route_for(workload)
+            except KeyError:
+                self.failures_total.inc(labels={"workload": workload})
+                raise GatewayTimeout(
+                    f"workload {workload!r} was undeployed mid-request"
+                ) from None
+        else:
+            route = self.route_for(workload)
         tracer = self.env.tracer
         root = None
         if tracer is not None:
@@ -304,6 +415,8 @@ class Gateway:
             request_id = next(self._ids)
             waiter = self.env.event()
             self._pending[request_id] = waiter
+            self._outstanding[workload] = \
+                self._outstanding.get(workload, 0) + 1
             proxy_span = None
             if tracer is not None:
                 proxy_span = tracer.begin(
@@ -325,11 +438,26 @@ class Gateway:
                     tracer.end(proxy_span, tags={"target": target})
                 self._send_request(route, target, request_id, payload, size,
                                    span=root)
+                mirror = self._mirrors.get(workload)
+                if mirror is not None:
+                    # Dual-route the same request id to the migration
+                    # target; _receive dedups whichever answers second.
+                    self._register_mirrored(request_id, 2)
+                    self.mirrored_requests_total.inc(
+                        labels={"workload": workload}
+                    )
+                    self._send_request(mirror, mirror.next_target(),
+                                       request_id, payload, size, span=root)
             outcome = yield self.env.any_of(
                 [waiter, self.env.timeout(self.request_timeout, value=None)]
             )
             response = waiter.value if waiter in outcome else None
             self._pending.pop(request_id, None)
+            left = self._outstanding.get(workload, 1) - 1
+            if left > 0:
+                self._outstanding[workload] = left
+            else:
+                self._outstanding.pop(workload, None)
             if response is not None:
                 if target in self._breakers:
                     self._breakers[target].record_success(self.env.now)
@@ -342,6 +470,9 @@ class Gateway:
                     tracer.end(root, tags={"ok": 1, "target": target,
                                            "retries": retries})
                 return RequestOutcome(workload, latency, response, True, retries)
+            # Forget any mirror copies for the timed-out id: arrivals
+            # from here on are late responses, not duplicates.
+            self._mirrored.pop(request_id, None)
             self.breaker_for(target).record_failure(self.env.now)
             retries += 1
             self.retries_total.inc(labels={"workload": workload})

@@ -15,7 +15,7 @@ the degradation once the home substrate returns.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..raft import EtcdClient
@@ -52,6 +52,13 @@ class DeploymentRecord:
     standby_result: Optional[DeployResult] = None
     #: Static-verification outcome (None when no admission policy ran).
     admission: Optional[AdmissionDecision] = None
+    #: Fault attribution: the fault detail that last moved this
+    #: deployment and where it went, written at migration cutover so
+    #: the record never goes stale after a reroute.
+    last_fault: str = ""
+    last_migration_reason: str = ""
+    last_target_kind: str = ""
+    last_targets: List[str] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
@@ -258,6 +265,8 @@ class WorkloadManager:
             "expand"
         self.gateway.set_route(workload, record.result.wid, list(targets),
                                rdma_qp=record.result.rdma_qp)
+        record.last_target_kind = record.backend_kind
+        record.last_targets = list(targets)
         self.failovers_total.inc(labels={"workload": workload, "kind": kind})
 
     def prepare_standby(self, workload: str, kind: str):

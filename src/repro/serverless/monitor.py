@@ -193,6 +193,10 @@ class FailoverEvent:
     kind: str          # "shrink" | "expand" | "degrade" | "restore"
     detail: str = ""
     completed_at: float = 0.0
+    #: The triggering fault (same string written to the deployment
+    #: record's ``last_fault``) and the backend kind chosen.
+    fault: str = ""
+    target_kind: str = ""
 
     @property
     def duration(self) -> float:
@@ -225,12 +229,17 @@ class HealthMonitor:
         check_interval: float = 0.25,
         probe_timeout: float = 0.1,
         probe_ejected: bool = True,
+        migrator=None,
     ) -> None:
         if check_interval <= 0:
             raise ValueError("check interval must be positive")
         self.env = env
         self.gateway = gateway
         self.manager = manager
+        #: When a MigrationController is attached, degrade/restore run
+        #: as forced migrations through its state machine (one control
+        #: plane); legacy metrics and events are preserved.
+        self.migrator = migrator
         self.check_interval = check_interval
         self.probe_timeout = probe_timeout
         self.probe_ejected = probe_ejected
@@ -274,26 +283,36 @@ class HealthMonitor:
             return None  # racing an undeploy
 
         if record.degraded and self._home_alive(record):
-            return self._transition(
-                workload, "restore",
-                detail=f"home {record.home_backend} back",
-                proc_factory=lambda: manager.restore_home(workload),
-            )
+            detail = f"home {record.home_backend} back"
+            if self.migrator is not None:
+                factory = lambda: self.migrator.migrate(  # noqa: E731
+                    workload, target_kind=record.home_backend,
+                    reason="restore", fault=detail, forced=True)
+            else:
+                factory = lambda: manager.restore_home(workload)  # noqa: E731
+            return self._transition(workload, "restore", detail=detail,
+                                    proc_factory=factory)
 
         live = manager.live_targets(workload)
         if not live:
             if manager.pick_fallback(record) is None:
                 return None  # nowhere to go; keep probing
-            return self._transition(
-                workload, "degrade",
-                detail=f"no live {record.backend_kind} target",
-                proc_factory=lambda: manager.degrade(workload),
-            )
+            detail = f"no live {record.backend_kind} target"
+            if self.migrator is not None:
+                factory = lambda: self.migrator.migrate(  # noqa: E731
+                    workload, reason="fault", fault=detail, forced=True)
+            else:
+                factory = lambda: manager.degrade(workload)  # noqa: E731
+            return self._transition(workload, "degrade", detail=detail,
+                                    proc_factory=factory)
 
         if set(route.targets) != set(live):
             kind = "shrink" if len(live) < len(route.targets) else "expand"
             event = FailoverEvent(self.env.now, workload, kind,
-                                  detail=",".join(live))
+                                  detail=",".join(live),
+                                  fault=f"route/live mismatch on "
+                                        f"{record.backend_kind}",
+                                  target_kind=record.backend_kind)
             manager.reroute(workload, live)
             event.completed_at = self.env.now
             self.events.append(event)
@@ -326,7 +345,8 @@ class HealthMonitor:
 
     def _transition(self, workload: str, kind: str, detail: str,
                     proc_factory) -> FailoverEvent:
-        event = FailoverEvent(self.env.now, workload, kind, detail=detail)
+        event = FailoverEvent(self.env.now, workload, kind, detail=detail,
+                              fault=detail)
         self._transitioning.add(workload)
 
         def runner():
@@ -343,6 +363,11 @@ class HealthMonitor:
                 self._transitioning.discard(workload)
             if ok:
                 event.completed_at = self.env.now
+                try:
+                    event.target_kind = \
+                        self.manager.record(workload).backend_kind
+                except KeyError:
+                    pass  # undeployed while transitioning
                 self.events.append(event)
                 if self.env.tracer is not None:
                     self.env.tracer.instant(

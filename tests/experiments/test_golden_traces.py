@@ -21,6 +21,7 @@ import pytest
 
 from repro.experiments import ExperimentConfig, fig6_latency, fig7_throughput
 from repro.experiments.fault_recovery import run_storm
+from repro.experiments.migration_storm import run_storm as run_migration_storm
 from repro.obs import (
     TraceCollection,
     check_invariants,
@@ -107,6 +108,14 @@ def test_fault_recovery_golden_trace(update_goldens):
     collection = TraceCollection()
     collection.add("storm", storm["testbed"].tracer)
     _check_golden("fault_recovery_trace", _summarise(collection),
+                  update_goldens)
+
+
+def test_migration_storm_golden_trace(update_goldens):
+    storm = run_migration_storm(seed=42, rate_rps=STORM_RATE_RPS, trace=True)
+    collection = TraceCollection()
+    collection.add("storm", storm["testbed"].tracer)
+    _check_golden("migration_storm_trace", _summarise(collection),
                   update_goldens)
 
 
