@@ -3,10 +3,11 @@
 Unlike the table/figure benchmarks this one guards the simulator's own
 wall-clock performance: the pre-decoded execution engine must stay at
 least ``MIN_FASTPATH_SPEEDUP`` (3x) faster than the reference
-interpreter on the web-server workload, and memoized replay must beat
-straight fast-path execution. The measured rates are written to
-``BENCH_sim_perf.json`` at the repository root so CI can archive them
-and successive runs can be compared.
+interpreter on the web-server workload, the source-codegen JIT at
+least ``MIN_JIT_SPEEDUP`` (2x) faster than the fast path, and memoized
+replay must beat straight fast-path execution. The measured rates are
+written to ``BENCH_sim_perf.json`` at the repository root so CI can
+archive them and successive runs can be compared.
 """
 
 import json
@@ -26,8 +27,8 @@ def test_sim_perf(benchmark, config):
     print(perf.run(config).format())
 
     for key in ("reference_exec_per_s", "fastpath_exec_per_s",
-                "fastpath_speedup", "memo_replay_per_s",
-                "sim_events_per_s"):
+                "fastpath_speedup", "jit_exec_per_s", "jit_speedup",
+                "memo_replay_per_s", "sim_events_per_s"):
         benchmark.extra_info[key] = round(metrics[key], 2)
 
     payload = dict(metrics)
@@ -36,11 +37,18 @@ def test_sim_perf(benchmark, config):
     BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
                           + "\n")
 
-    # The regression gate: pre-decoding must keep paying for itself.
+    # The regression gates: each compiled tier must keep paying for
+    # itself over the tier below.
     assert metrics["fastpath_speedup"] >= perf.MIN_FASTPATH_SPEEDUP, (
         f"fast path only {metrics['fastpath_speedup']:.2f}x over the "
         f"reference interpreter (gate: {perf.MIN_FASTPATH_SPEEDUP}x)"
     )
+    assert metrics["jit_speedup"] >= perf.MIN_JIT_SPEEDUP, (
+        f"JIT only {metrics['jit_speedup']:.2f}x over the fast path "
+        f"(gate: {perf.MIN_JIT_SPEEDUP}x)"
+    )
+    # The gate must measure real JIT execution, not its fallback tier.
+    assert metrics["jit_fallbacks"] == 0
     # Replaying a memoized pure execution must beat re-executing it.
     assert metrics["memo_replay_per_s"] > metrics["fastpath_exec_per_s"]
     assert metrics["memo_hit_rate"] > 0.9

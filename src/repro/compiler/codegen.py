@@ -19,7 +19,7 @@ from ..isa.verify import (
     VerifyOptions,
     verify_program,
 )
-from .passes import STANDARD_PASSES
+from .passes import EXTENDED_PASSES
 from .unit import CompilationUnit, CompileError
 
 #: Netronome Agilio CX on-board RAM from the paper's testbed (§6.1.2);
@@ -184,7 +184,7 @@ def compile_unit(
         StageCount("Unoptimized", working.build_program().instruction_count)
     )
     if optimize:
-        for stage_name, pass_fn in (passes if passes is not None else STANDARD_PASSES):
+        for stage_name, pass_fn in (passes if passes is not None else EXTENDED_PASSES):
             working = pass_fn(working)
             report.stages.append(
                 StageCount(stage_name, working.build_program().instruction_count)

@@ -28,23 +28,31 @@ def compile_fig9() -> Firmware:
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
-    """Regenerate Figure 9 (measured vs paper per stage)."""
+    """Regenerate Figure 9 (measured vs paper per stage).
+
+    The default pipeline runs the extended pass list, so the report
+    has two extra stages past the paper's four; those rows show "—"
+    in the paper columns.
+    """
     firmware = compile_fig9()
     rows = []
-    for (stage, instructions, reduction), (p_stage, p_count, p_red) in zip(
-        firmware.report.rows(), PAPER_FIG9,
+    paper = list(PAPER_FIG9) + [(None, "—", None)] * (
+        len(firmware.report.rows()) - len(PAPER_FIG9))
+    for (stage, instructions, reduction), (_, p_count, p_red) in zip(
+        firmware.report.rows(), paper,
     ):
         rows.append([
             stage,
             instructions,
             f"-{reduction:.2f}%",
             p_count,
-            f"-{p_red:.2f}%",
+            "—" if p_red is None else f"-{p_red:.2f}%",
         ])
     return ExperimentReport(
         experiment="Figure 9",
         title="optimizer effectiveness (firmware instruction count)",
         headers=["stage", "measured", "measured_cum", "paper", "paper_cum"],
         rows=rows,
-        notes=["2 kv clients + web server + image transformer in one firmware"],
+        notes=["2 kv clients + web server + image transformer in one firmware",
+               "stages past the paper's four are this repo's extended passes"],
     )

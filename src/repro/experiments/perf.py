@@ -2,17 +2,18 @@
 
 Unlike the other experiment drivers, this one measures the *simulator
 itself*: lambda executions per wall-clock second under the reference
-interpreter, the pre-decoded fast-path engine, and memoized replay, plus
-end-to-end simulation events per second. It backs the perf-regression
-harness in ``benchmarks/test_sim_perf.py`` (which asserts the fast path
-stays at least 3x faster than the reference interpreter and writes
-``BENCH_sim_perf.json``).
+interpreter, the pre-decoded fast-path engine, the source-codegen JIT,
+and memoized replay, plus end-to-end simulation events per second. It
+backs the perf-regression harness in ``benchmarks/test_sim_perf.py``
+(which asserts the fast path stays at least 3x faster than the
+reference interpreter, the JIT at least 2x faster than the fast path,
+and writes ``BENCH_sim_perf.json``).
 
 All numbers here are host wall-clock rates. Simulated results are
-unaffected by the engine choice — the differential suite in
-``tests/isa/test_fastpath.py`` proves result equality — so this driver
-never compares against paper figures; its "paper" column is the
-reference engine.
+unaffected by the engine choice — the differential suites in
+``tests/isa/test_fastpath.py`` and ``tests/isa/test_jit.py`` prove
+result equality — so this driver never compares against paper figures;
+its "paper" column is the reference engine.
 """
 
 from __future__ import annotations
@@ -21,14 +22,15 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..hw.memo import ExecutionMemoCache, make_key
-from ..isa import FastInterpreter, Interpreter
+from ..isa import FastInterpreter, Interpreter, JitInterpreter
 from ..serverless import Testbed, closed_loop
 from ..workloads import standard_workloads
 from .calibration import DEFAULT_CONFIG, ExperimentConfig
 from .harness import ExperimentReport, run_scenario
 
-#: The regression gate enforced by benchmarks/test_sim_perf.py.
+#: The regression gates enforced by benchmarks/test_sim_perf.py.
 MIN_FASTPATH_SPEEDUP = 3.0
+MIN_JIT_SPEEDUP = 2.0  # JIT over fastpath
 
 
 def _webserver_inputs(n: int) -> List[Tuple[Dict, Dict]]:
@@ -63,11 +65,11 @@ def _time_executions(engine, program, inputs, memory) -> float:
 def measure_engine_rates(
     config: Optional[ExperimentConfig] = None,
 ) -> Dict[str, float]:
-    """Lambda executions per second: reference vs pre-decoded engine.
+    """Lambda executions per second across all three engine tiers.
 
-    Both engines run the identical web-server request stream against
-    their own persistent memory; the fast path is warmed once so the
-    one-time compile is not billed to the steady-state rate.
+    Every engine runs the identical web-server request stream against
+    its own persistent memory; the compiled tiers are warmed once so
+    the one-time compile is not billed to the steady-state rate.
     """
     config = config or DEFAULT_CONFIG
     program = standard_workloads()["web_server"].nic_factory()
@@ -75,19 +77,27 @@ def measure_engine_rates(
 
     reference = Interpreter()
     fast = FastInterpreter()
+    jit = JitInterpreter()
     warm_headers, warm_meta = _webserver_inputs(1)[0]
-    fast.run(program, headers=warm_headers, meta=dict(warm_meta),
-             memory=_fresh_memory(program))
+    for engine in (fast, jit):
+        engine.run(program, headers={k: dict(v)
+                                     for k, v in warm_headers.items()},
+                   meta=dict(warm_meta), memory=_fresh_memory(program))
 
     reference_s = _time_executions(reference, program, inputs,
                                    _fresh_memory(program))
     fast_s = _time_executions(fast, program, inputs,
                               _fresh_memory(program))
+    jit_s = _time_executions(jit, program, inputs,
+                             _fresh_memory(program))
     n = float(len(inputs))
     return {
         "reference_exec_per_s": n / reference_s,
         "fastpath_exec_per_s": n / fast_s,
         "fastpath_speedup": reference_s / fast_s,
+        "jit_exec_per_s": n / jit_s,
+        "jit_speedup": fast_s / jit_s,
+        "jit_fallbacks": float(jit.stats.fallbacks),
     }
 
 
@@ -175,6 +185,7 @@ def collect(config: Optional[ExperimentConfig] = None) -> Dict[str, Any]:
     metrics["perf_requests"] = config.perf_requests
     metrics["perf_sim_requests"] = config.perf_sim_requests
     metrics["min_required_speedup"] = MIN_FASTPATH_SPEEDUP
+    metrics["min_required_jit_speedup"] = MIN_JIT_SPEEDUP
     return metrics
 
 
@@ -190,6 +201,10 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
          f">= {MIN_FASTPATH_SPEEDUP:.0f}x baseline"],
         ["fast-path speedup (x)", metrics["fastpath_speedup"],
          f">= {MIN_FASTPATH_SPEEDUP:.0f}"],
+        ["jit engine (exec/s)", metrics["jit_exec_per_s"],
+         f">= {MIN_JIT_SPEEDUP:.0f}x fast path"],
+        ["jit speedup over fast path (x)", metrics["jit_speedup"],
+         f">= {MIN_JIT_SPEEDUP:.0f}"],
         ["memo replay (exec/s)", metrics["memo_replay_per_s"], "-"],
         ["memo hit rate", f"{metrics['memo_hit_rate'] * 100:.1f}%",
          "~100%"],

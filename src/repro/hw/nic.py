@@ -15,6 +15,7 @@ from ..compiler import Firmware
 from ..isa import (
     FastInterpreter,
     Interpreter,
+    JitInterpreter,
     Region,
     VERDICT_DROP,
     VERDICT_FORWARD,
@@ -46,6 +47,12 @@ PIPELINE_OVERHEAD_CYCLES = 300
 #: Paper footnote 3: reordering four 100 B packets takes 120
 #: instructions, i.e. 30 per segment.
 REORDER_CYCLES_PER_SEGMENT = 30
+
+#: Execution-engine tiers, slowest to fastest. All three are
+#: cycle-exact and verdict-identical (differentially proven); they only
+#: differ in host wall-clock speed. "jit" transparently degrades to
+#: fastpath for programs the JIT cannot lower.
+ENGINE_TIERS = ("interpreter", "fastpath", "jit")
 
 
 class NicStats:
@@ -93,6 +100,39 @@ class NicStats:
             "nic_latency_seconds", "on-NIC serve latency")
         self._per_lambda = self.registry.counter(
             "nic_lambda_requests_total", "requests served per lambda")
+        # Engine compile-cache statistics, per tier. The counters live
+        # on the engine objects (CompileCacheStats); these gauges mirror
+        # the current totals into the registry so tier behaviour —
+        # including JIT lowering fallbacks — is observable in scrapes.
+        self._compile_hits = self.registry.gauge(
+            "nic_compile_cache_hits", "compile-cache hits per engine tier")
+        self._compile_misses = self.registry.gauge(
+            "nic_compile_cache_misses",
+            "compile-cache misses (compilations) per engine tier")
+        self._compile_fallbacks = self.registry.gauge(
+            "nic_compile_cache_fallbacks",
+            "programs an engine tier could not lower")
+
+    def record_compile_stats(self, tier: str, stats) -> None:
+        """Mirror one engine tier's CompileCacheStats into the registry."""
+        labels = dict(self.labels or {})
+        labels["tier"] = tier
+        self._compile_hits.set(float(stats.hits), labels)
+        self._compile_misses.set(float(stats.misses), labels)
+        self._compile_fallbacks.set(float(stats.fallbacks), labels)
+
+    def compile_cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier compile-cache totals as plain dicts (tests/REPL)."""
+        node = (self.labels or {}).get("node")
+        out: Dict[str, Dict[str, int]] = {}
+        for gauge, field in ((self._compile_hits, "hits"),
+                             (self._compile_misses, "misses"),
+                             (self._compile_fallbacks, "fallbacks")):
+            for labels, value in gauge.items():
+                if node is not None and labels.get("node") != node:
+                    continue
+                out.setdefault(labels["tier"], {})[field] = int(value)
+        return out
 
     @property
     def latencies(self) -> List[float]:
@@ -138,6 +178,7 @@ class SmartNIC:
         enable_memo: bool = True,
         memo_entries: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if scheduler is None:
             if rng is None:
@@ -153,20 +194,35 @@ class SmartNIC:
         self.memory = NicMemory()
         self.stats = NicStats(registry=metrics, node=self.name)
         #: Reference interpreter — kept as the executable specification
-        #: (and the engine when ``use_fast_path=False``).
+        #: (and the engine when ``engine="interpreter"``).
         self.interpreter = Interpreter(clock_hz=clock_hz)
-        self.use_fast_path = use_fast_path
-        #: Pre-decoded threaded-code engine; cycle- and result-identical
-        #: to ``interpreter`` (proved by tests/isa/test_fastpath.py).
-        self.engine = (
-            FastInterpreter(clock_hz=clock_hz) if use_fast_path
-            else self.interpreter
-        )
-        #: Result memoization is only sound with the fast path, which
-        #: reports whether an execution wrote persistent memory.
+        # Resolve the engine tier: the explicit ``engine`` knob wins;
+        # otherwise the legacy ``use_fast_path`` flag picks the fastest
+        # tier (jit) or the reference interpreter.
+        if engine is None:
+            engine = "jit" if use_fast_path else "interpreter"
+        if engine not in ENGINE_TIERS:
+            raise ValueError(
+                f"unknown engine {engine!r} (choose from {ENGINE_TIERS})"
+            )
+        self.engine_tier = engine
+        self.use_fast_path = engine != "interpreter"
+        #: The execution engine for the resolved tier. "fastpath" is the
+        #: pre-decoded threaded-code engine; "jit" compiles each lambda
+        #: to Python source (falling back to fastpath per program). Both
+        #: are cycle- and result-identical to ``interpreter`` (proved by
+        #: tests/isa/test_fastpath.py and tests/isa/test_jit.py).
+        if engine == "jit":
+            self.engine = JitInterpreter(clock_hz=clock_hz)
+        elif engine == "fastpath":
+            self.engine = FastInterpreter(clock_hz=clock_hz)
+        else:
+            self.engine = self.interpreter
+        #: Result memoization is only sound with the compiled tiers,
+        #: which report whether an execution wrote persistent memory.
         self.memo: Optional[ExecutionMemoCache] = (
             ExecutionMemoCache(memo_entries)
-            if (use_fast_path and enable_memo) else None
+            if (self.use_fast_path and enable_memo) else None
         )
 
         self.islands: List[Island] = []
@@ -464,7 +520,7 @@ class SmartNIC:
                 memory=self._lambda_memory,
             )
         if trace_tags is not None:
-            trace_tags["engine"] = "fastpath"
+            trace_tags["engine"] = self.engine_tier
             trace_tags["memo"] = "off" if self.memo is None else "miss"
         memo = self.memo
         key = None
@@ -480,11 +536,26 @@ class SmartNIC:
             program, headers=headers, meta=meta,
             memory=self._lambda_memory,
         )
+        if trace_tags is not None:
+            # The JIT may degrade to fastpath per program; report the
+            # tier that actually ran (memo hits keep the configured tier).
+            trace_tags["engine"] = getattr(
+                self.engine, "last_tier", self.engine_tier)
+        self._publish_compile_stats()
         if wrote_memory:
             self._state_written()
         elif memo is not None:
             memo.put(key, result)
         return result
+
+    def _publish_compile_stats(self) -> None:
+        """Mirror engine compile-cache counters into the metrics registry."""
+        stats = getattr(self.engine, "stats", None)
+        if stats is not None:
+            self.stats.record_compile_stats(self.engine_tier, stats)
+        fallback = getattr(self.engine, "fallback", None)
+        if fallback is not None and getattr(fallback, "stats", None) is not None:
+            self.stats.record_compile_stats("fastpath", fallback.stats)
 
     @staticmethod
     def _payload_digest(packet: Packet) -> Any:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import weakref
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .instructions import (
@@ -60,6 +61,23 @@ from .program import LambdaProgram
 
 #: Sentinel returned by a step closure to stop the dispatch loop.
 _STOP = -1
+
+
+@dataclass
+class CompileCacheStats:
+    """Compile-cache counters for one engine tier.
+
+    ``fallbacks`` counts programs the tier could not lower (only the
+    JIT tier ever falls back; for the fast path it stays zero).
+    """
+
+    hits: int = 0       # lookups answered by a live compilation
+    misses: int = 0     # compilations (first-time or staleness recompiles)
+    fallbacks: int = 0  # programs this tier could not lower
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
 
 #: A step closure: mutates the state, returns the next code index.
 StepFn = Callable[["FastState"], int]
@@ -860,6 +878,7 @@ class FastInterpreter:
                  step_limit: int = DEFAULT_STEP_LIMIT) -> None:
         self.clock_hz = clock_hz
         self.step_limit = step_limit
+        self.stats = CompileCacheStats()
         self._compiled: "weakref.WeakKeyDictionary[LambdaProgram, CompiledProgram]" = (
             weakref.WeakKeyDictionary()
         )
@@ -868,8 +887,11 @@ class FastInterpreter:
         """The cached compilation of ``program`` (recompiled if stale)."""
         compiled = self._compiled.get(program)
         if compiled is None or compiled.signature != program_signature(program):
+            self.stats.misses += 1
             compiled = CompiledProgram(program)
             self._compiled[program] = compiled
+        else:
+            self.stats.hits += 1
         return compiled
 
     def execute(

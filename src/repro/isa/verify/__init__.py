@@ -38,7 +38,14 @@ from .analyses import (
     reaching_definitions,
     uninitialized_reads,
 )
-from .cfg import CFG, BasicBlock, build_cfg
+from .cfg import (
+    BRANCH_OPS,
+    CFG,
+    MACHINE_TERMINATOR_OPS,
+    TERMINATOR_OPS,
+    BasicBlock,
+    build_cfg,
+)
 from .dataflow import DataflowProblem, DataflowResult, FixpointError, solve
 from .memcheck import check_memory, region_footprint
 from .report import Finding, Severity, VerifierReport
@@ -51,6 +58,7 @@ from .wcet import LoopInfo, WcetResult, estimate_wcet, find_loops
 
 __all__ = [
     "ALL_REGISTERS",
+    "BRANCH_OPS",
     "BasicBlock",
     "CFG",
     "ConstLattice",
@@ -61,10 +69,12 @@ __all__ = [
     "FixpointError",
     "InterproceduralLiveness",
     "LoopInfo",
+    "MACHINE_TERMINATOR_OPS",
     "MAX_INSTRUCTIONS_PER_CORE",
     "NAC",
     "PURE_DEF_OPS",
     "Severity",
+    "TERMINATOR_OPS",
     "VerifierReport",
     "VerifyOptions",
     "WcetResult",

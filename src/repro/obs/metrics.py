@@ -90,6 +90,10 @@ class Gauge:
     def value(self, labels: Optional[Dict[str, str]] = None) -> float:
         return self._values.get(_labelset(labels), 0.0)
 
+    def items(self) -> List[Tuple[Dict[str, str], float]]:
+        """(labels dict, value) pairs for every labelset seen."""
+        return [(dict(key), value) for key, value in self._values.items()]
+
     def merge(self, other: "Gauge") -> "Gauge":
         """A new gauge summing both operands (commutative by design)."""
         merged = Gauge(self.name, self.help_text or other.help_text)

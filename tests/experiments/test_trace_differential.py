@@ -5,9 +5,9 @@ randomness, or mutates packet routing — so a traced run and an
 untraced run of the same seeded scenario must be *byte-identical* in
 every observable output (exact float latencies, event count, final
 sim time, per-component counters). Each parametrised case exercises a
-different execution path: the pre-decoded fast path, the reference
-interpreter, memoization on/off, the host (bare-metal) backend, and
-the RDMA/memcached path.
+different execution path: every engine tier (JIT — the default —
+pre-decoded fast path, reference interpreter), memoization on/off,
+the host (bare-metal) backend, and the RDMA/memcached path.
 """
 
 import pytest
@@ -16,9 +16,13 @@ from repro.serverless import Testbed, closed_loop
 from repro.workloads import standard_workloads
 
 CASES = [
-    ("fastpath-memo", "web_server", "lambda-nic", {}),
-    ("interpreter", "web_server", "lambda-nic", {"use_fast_path": False}),
-    ("fastpath-no-memo", "web_server", "lambda-nic", {"enable_memo": False}),
+    ("jit-memo", "web_server", "lambda-nic", {}),
+    ("jit-explicit", "web_server", "lambda-nic", {"engine": "jit"}),
+    ("fastpath", "web_server", "lambda-nic", {"engine": "fastpath"}),
+    ("interpreter", "web_server", "lambda-nic", {"engine": "interpreter"}),
+    ("legacy-interpreter-knob", "web_server", "lambda-nic",
+     {"use_fast_path": False}),
+    ("jit-no-memo", "web_server", "lambda-nic", {"enable_memo": False}),
     ("bare-metal-host", "web_server", "bare-metal", {}),
     ("rdma-kv", "kv_client", "lambda-nic", {}),
 ]
@@ -81,6 +85,18 @@ def test_traced_run_is_byte_identical(name, workload, backend, nic_kwargs):
     assert traced == untraced
     # Sanity: the fingerprint is non-trivial.
     assert "completed=10" in untraced
+
+
+def test_engine_tiers_are_byte_identical_end_to_end():
+    """All three engine tiers yield the same simulation, exactly —
+    the cycle-exactness proof lifted to the whole testbed."""
+    fingerprints = {
+        engine: _run_fingerprint("web_server", "lambda-nic",
+                                 {"engine": engine}, False)
+        for engine in ("interpreter", "fastpath", "jit")
+    }
+    assert fingerprints["jit"] == fingerprints["fastpath"]
+    assert fingerprints["jit"] == fingerprints["interpreter"]
 
 
 def test_traced_run_actually_traces():

@@ -1,0 +1,206 @@
+"""Property-based differential tests: JIT tier vs the reference.
+
+Hypothesis drives random packet headers/meta through every registered
+workload on both the reference interpreter and the JIT engine and
+requires byte-identical results — verdicts, cycles, region-access
+profiles, emitted packets, mutated headers/meta, persistent-memory
+contents, and the memory-write flag the memo cache keys off. A second
+group proves memo soundness at the NIC level: JIT-executed writes
+invalidate the memo cache and bump the state epoch, while pure repeats
+replay from it.
+"""
+
+import copy
+import random
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import FastInterpreter, Interpreter, JitInterpreter
+from repro.serverless import Testbed, closed_loop
+from repro.workloads import web_server_spec
+from repro.workloads.registry import fig9_workloads, standard_workloads
+
+WORKLOADS = sorted(
+    [f"std:{name}" for name in standard_workloads()]
+    + [f"fig9:{name}" for name in fig9_workloads()]
+)
+
+
+def program_for(key):
+    kind, _, name = key.partition(":")
+    registry = standard_workloads() if kind == "std" else fig9_workloads()
+    return registry[name].nic_program()
+
+
+packet_headers = st.fixed_dictionaries({
+    "LambdaHeader": st.fixed_dictionaries({
+        "wid": st.integers(min_value=0, max_value=8),
+        "request_id": st.integers(min_value=0, max_value=(1 << 16) - 1),
+        "seq": st.integers(min_value=0, max_value=7),
+        "is_response": st.integers(min_value=0, max_value=1),
+        "total_segments": st.integers(min_value=1, max_value=4),
+    }),
+})
+
+packet_meta = st.fixed_dictionaries({
+    "has_LambdaHeader": st.just(1),
+    "ingress_port": st.integers(min_value=0, max_value=3),
+    "service_response": st.integers(min_value=0, max_value=1),
+    "service_status": st.integers(min_value=0, max_value=1),
+    "rdma_len": st.sampled_from([0, 64, 1024, 4096]),
+})
+
+
+def outcome(engine, program, headers, meta, memory):
+    """(result-or-error, wrote_memory) for one engine run."""
+    try:
+        if isinstance(engine, Interpreter):
+            result = engine.run(program, headers=copy.deepcopy(headers),
+                                meta=dict(meta), memory=memory)
+            wrote = None
+        else:
+            result, wrote = engine.execute(
+                program, headers=copy.deepcopy(headers), meta=dict(meta),
+                memory=memory)
+        return ("ok", asdict(result)), wrote
+    except Exception as error:
+        return ("err", type(error).__name__, str(error)), None
+
+
+@pytest.mark.parametrize("key", WORKLOADS)
+@settings(max_examples=25, deadline=None)
+@given(headers=packet_headers, meta=packet_meta, memory_seed=st.integers(
+    min_value=0, max_value=2**32 - 1))
+def test_jit_matches_reference_on_random_packets(key, headers, meta,
+                                                 memory_seed):
+    """Random packets, random pre-seeded persistent state: the JIT is
+    byte-identical to the reference (results, errors, memory, and the
+    wrote-memory flag agrees with the fastpath tier's)."""
+    program = program_for(key)
+    rng = random.Random(memory_seed)
+    ref_memory = {
+        obj.name: bytearray(rng.randrange(256) for _ in range(obj.size_bytes))
+        for obj in program.objects.values()
+    }
+    jit_memory = {k: bytearray(v) for k, v in ref_memory.items()}
+    fast_memory = {k: bytearray(v) for k, v in ref_memory.items()}
+
+    jit = JitInterpreter()
+    ref, _ = outcome(Interpreter(), program, headers, meta, ref_memory)
+    jt, jit_wrote = outcome(jit, program, headers, meta, jit_memory)
+    fast, fast_wrote = outcome(FastInterpreter(), program, headers, meta,
+                               fast_memory)
+    assert ref == jt, f"{key}: {ref} != {jt}"
+    assert ref_memory == jit_memory
+    assert jit_wrote == fast_wrote
+    assert jit.stats.fallbacks == 0
+
+
+def _jit_nic(builder_fn, name):
+    """A SmartNIC (engine="jit") with one composed lambda installed."""
+    from repro.compiler import CompilationUnit, compile_unit
+    from repro.hw.nic import SmartNIC
+    from repro.isa import ProgramBuilder
+    from repro.net.network import Network
+    from repro.sim import Environment
+
+    builder = ProgramBuilder(name)
+    builder_fn(builder)
+    unit = CompilationUnit()
+    unit.add_lambda(builder.build(), wid=1, route_port="p0")
+    firmware = compile_unit(unit, optimize=False)
+
+    env = Environment()
+    net = Network(env)
+    node = net.add_node("nic")
+    nic = SmartNIC(env, node, rng=random.Random(3), engine="jit")
+    nic.install_firmware(firmware)
+    return nic
+
+
+def _request(nic, request_id=7):
+    from repro.net import HeaderStack, LambdaHeader, Packet
+
+    headers = {"LambdaHeader": {"wid": 1, "request_id": request_id, "seq": 0,
+                                "is_response": 0, "total_segments": 1}}
+    meta = {"has_LambdaHeader": 1, "ingress_port": 0}
+    packet = Packet(src="client", dst="nic",
+                    headers=HeaderStack([LambdaHeader(wid=1,
+                                                      request_id=request_id)]))
+    return nic._execute(packet, copy.deepcopy(headers), dict(meta))
+
+
+def test_memo_soundness_pure_jit_executions_replay():
+    """Pure JIT executions memoise; direct state writes fence them."""
+    def reader(builder):
+        builder.object("state", 64)
+        fn = builder.function("reader")
+        fn.load("r1", "state", 0)
+        fn.forward()
+        builder.close(fn)
+
+    nic = _jit_nic(reader, "reader")
+    assert nic.engine_tier == "jit"
+    first = _request(nic)
+    again = _request(nic)
+    assert nic.memo.stats.hits == 1  # byte-identical pure repeat replayed
+    assert again == first
+    epoch = nic.state_epoch
+
+    # A direct write through lambda_memory() fences the cache: the next
+    # identical request recomputes against the new contents.
+    invalidations = nic.memo.stats.invalidations
+    nic.lambda_memory("reader.state")[0] = 0xFF
+    assert nic.state_epoch == epoch + 1
+    assert nic.memo.stats.invalidations > invalidations
+    _request(nic)
+    assert nic.memo.stats.hits == 1  # no stale replay
+
+
+def test_jit_write_through_execution_bumps_epoch():
+    """An execution that writes persistent memory (wrote_memory=True
+    from the JIT) flushes the memo cache via _state_written."""
+    def writer(builder):
+        builder.object("state", 64)
+        fn = builder.function("writer")
+        fn.hload("r1", "LambdaHeader", "request_id")
+        fn.store("state", 0, "r1")
+        fn.forward()
+        builder.close(fn)
+
+    nic = _jit_nic(writer, "writer")
+    epoch = nic.state_epoch
+    result = _request(nic)
+    assert result.verdict == "forward"
+    assert nic.state_epoch == epoch + 1  # write invalidated the memo
+    assert nic._lambda_memory["writer.state"][0] == 7
+    # The same request again: still a write, never served from memo.
+    _request(nic)
+    assert nic.state_epoch == epoch + 2
+    assert nic.memo.stats.hits == 0
+
+
+def test_jit_serves_gateway_traffic_end_to_end():
+    """The default (JIT) tier serves real gateway traffic and reports
+    compile-cache stats with zero fallbacks."""
+    tb = Testbed(seed=11, n_workers=1, nic_kwargs={"engine": "jit"})
+    tb.add_lambda_nic_backend()
+    spec = web_server_spec()
+
+    def scenario(env):
+        yield tb.manager.deploy(spec, "lambda-nic")
+        result = yield closed_loop(tb.env, tb.gateway, spec.name,
+                                   n_requests=12)
+        return result
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    assert process.value.completed == 12
+    nic = tb.nics[0]
+    stats = nic.stats.compile_cache_stats()
+    assert stats["jit"]["fallbacks"] == 0
+    assert stats["jit"]["misses"] == 1  # one firmware, compiled once
+    assert stats["jit"]["hits"] >= 11
