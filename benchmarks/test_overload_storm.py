@@ -1,0 +1,106 @@
+"""Benchmark: the overload storm — the Issue 8 robustness contract.
+
+Drives bursty open-loop MMPP load at a small λ-NIC fleet in two phases
+(saturation, then 2× saturation) with the full overload stack on —
+deadline propagation, retry budgets, CoDel-style shedding, hedged
+requests — and asserts:
+
+* goodput at 2× saturation stays >= 80% of peak goodput (graceful
+  degradation: overload costs throughput, not collapse);
+* the p99 of *successful* requests stays under the 300 ms deadline —
+  failures are fast and typed, successes are still interactive;
+* no expired work is ever executed on the NPUs: the WCET-aware arrival
+  check plus the provable-lateness dequeue check keep every charged
+  cycle attributable to a request that could still meet its deadline;
+* retries stay inside the retry budget (no retry amplification);
+* two same-seed runs are identical down to exact latencies.
+"""
+
+from repro.experiments import overload_storm
+
+#: Goodput at 2x saturation must stay within this fraction of peak.
+MIN_GOODPUT_RATIO = 0.8
+#: Successful requests must complete inside their deadline; p99 of
+#: successes is therefore bounded by it.
+MAX_SUCCESS_P99 = overload_storm.DEADLINE_SECONDS
+
+
+def run_storm():
+    return overload_storm.run_storm(seed=42)
+
+
+def test_overload_storm(benchmark):
+    storm = benchmark.pedantic(run_storm, rounds=1, iterations=1)
+    peak, over = storm["peak"], storm["overload"]
+
+    # -- goodput degrades gracefully, never collapses --------------------
+    peak_goodput = sum(r.goodput_rps for r in peak["results"].values())
+    over_goodput = sum(r.goodput_rps for r in over["results"].values())
+    ratio = over_goodput / peak_goodput
+    benchmark.extra_info["peak_goodput_rps"] = round(peak_goodput, 1)
+    benchmark.extra_info["overload_goodput_rps"] = round(over_goodput, 1)
+    benchmark.extra_info["goodput_ratio"] = round(ratio, 3)
+    assert ratio >= MIN_GOODPUT_RATIO, \
+        f"goodput collapsed under overload: {ratio:.3f} < {MIN_GOODPUT_RATIO}"
+
+    # -- successes stay interactive in both phases -----------------------
+    for phase, run in storm.items():
+        for name, result in run["results"].items():
+            assert result.completed > 0, f"{phase}/{name}: nothing completed"
+            p99 = result.percentile(99)
+            benchmark.extra_info[f"p99_{phase}_{name}"] = round(p99, 4)
+            assert p99 <= MAX_SUCCESS_P99, \
+                f"{phase}/{name}: success p99 {p99:.3f}s past the deadline"
+
+    # -- zero expired executions -----------------------------------------
+    for phase, run in storm.items():
+        nic = run["nic"]
+        # Nothing provably late is ever granted a thread, and nothing
+        # granted a thread finishes late: the race window is closed by
+        # the WCET check at dispatch.
+        assert nic["expired_completions"] == 0, \
+            f"{phase}: {nic['expired_completions']} expired executions"
+        benchmark.extra_info[f"nic_arrival_drops_{phase}"] = \
+            nic["expired_on_arrival"]
+
+    # -- overload actually engaged every mechanism -----------------------
+    assert over["nic"]["expired_on_arrival"] > 0   # WCET-aware drops fired
+    assert over["gateway"]["hedges"] > 0           # hedging engaged
+    failures = sum(r.failures for r in over["results"].values())
+    typed = sum(r.shed + r.expired + r.budget_exhausted
+                for r in over["results"].values())
+    assert failures > 0 and typed > 0              # failures are typed
+    benchmark.extra_info["overload_failures"] = failures
+
+    # -- retry/hedge sends bounded by the budget -------------------------
+    # ``gateway_retries_total`` counts timeout events (including
+    # attempts the budget then denied); what the budget bounds is the
+    # number of retry/hedge *sends* — its own ``withdrawn`` counter.
+    config = overload_storm.OVERLOAD
+    for phase, run in storm.items():
+        for name, result in run["results"].items():
+            budget = run["testbed"].gateway.retry_budget(name)
+            issued = result.completed + result.failures
+            cap = config.retry_budget_floor + \
+                config.retry_budget_ratio * issued
+            assert budget.withdrawn <= cap, \
+                f"{phase}/{name}: {budget.withdrawn} retry sends " \
+                f"exceed budget {cap:.0f}"
+        benchmark.extra_info[f"retry_timeouts_{phase}"] = \
+            run["gateway"]["retries"]
+
+    # -- dedup held: hedges never delivered a second outcome -------------
+    for phase, run in storm.items():
+        for result in run["results"].values():
+            assert result.completed == len(result.latencies)
+
+
+def test_overload_storm_is_deterministic():
+    first = run_storm()
+    second = run_storm()
+    for phase in first:
+        assert first[phase]["nic"] == second[phase]["nic"]
+        assert first[phase]["gateway"] == second[phase]["gateway"]
+        for name in first[phase]["results"]:
+            assert first[phase]["results"][name].latencies == \
+                second[phase]["results"][name].latencies

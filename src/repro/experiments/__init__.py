@@ -8,6 +8,7 @@ from . import (
     fig9_optimizer,
     micro_reorder,
     migration_storm,
+    overload_storm,
     perf,
     table1_nic_types,
     table3_resources,
@@ -35,6 +36,7 @@ ALL_EXPERIMENTS = {
     "reorder": micro_reorder.run,
     "fault_recovery": fault_recovery.run,
     "migration_storm": migration_storm.run,
+    "overload_storm": overload_storm.run,
     "perf": perf.run,
     "verify": verify_lambdas.run,
 }
@@ -62,6 +64,7 @@ __all__ = [
     "mib",
     "micro_reorder",
     "migration_storm",
+    "overload_storm",
     "perf",
     "run_all",
     "run_scenario",

@@ -16,7 +16,8 @@ import sys
 from . import ALL_EXPERIMENTS, DEFAULT_CONFIG, FAST_CONFIG
 
 #: Experiments whose drivers collect spans when ``config.trace`` is set.
-TRACED_EXPERIMENTS = ("fig6", "fig7", "fault_recovery", "migration_storm")
+TRACED_EXPERIMENTS = ("fig6", "fig7", "fault_recovery", "migration_storm",
+                      "overload_storm")
 
 
 def _parse_args(argv):

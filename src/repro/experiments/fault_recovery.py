@@ -156,11 +156,13 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
             extra={
                 "availability": availability(during),
                 "after_p99": after.percentile(99),
+                "goodput_rps": during.goodput_rps,
             },
         )
         rows.append([
             name,
             100.0 * availability(during),
+            during.goodput_rps,
             during.percentile(99) * 1e3,
             after.percentile(99) * 1e3,
             during.failures,
@@ -172,8 +174,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
     report = ExperimentReport(
         experiment="Fault storm",
         title="availability and recovery under injected failures",
-        headers=["workload", "avail_pct", "p99_ms_during", "p99_ms_after",
-                 "failed"],
+        headers=["workload", "avail_pct", "goodput_rps", "p99_ms_during",
+                 "p99_ms_after", "failed"],
         rows=rows,
         notes=[
             f"{len(storm['trace'])} faults fired; "

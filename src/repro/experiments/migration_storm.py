@@ -226,11 +226,13 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
                 "availability": availability(during),
                 "after_p99": after.percentile(99),
                 "migrations": n_migrations,
+                "goodput_rps": during.goodput_rps,
             },
         )
         rows.append([
             name,
             100.0 * availability(during),
+            during.goodput_rps,
             during.percentile(99) * 1e3,
             after.percentile(99) * 1e3,
             n_migrations,
@@ -246,8 +248,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
     report = ExperimentReport(
         experiment="Migration storm",
         title="live NIC↔host migration under fault injection",
-        headers=["workload", "avail_pct", "p99_ms_during", "p99_ms_after",
-                 "migrations", "failed"],
+        headers=["workload", "avail_pct", "goodput_rps", "p99_ms_during",
+                 "p99_ms_after", "migrations", "failed"],
         rows=rows,
         notes=[
             f"{len(migrations)} migrations ({n_completed} completed, "

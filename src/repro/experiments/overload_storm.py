@@ -1,0 +1,227 @@
+"""Overload storm: open-loop load past saturation with overload control.
+
+The robustness experiment for end-to-end overload control (Issue 8).
+A deliberately small λ-NIC fleet (two NICs, one dual-thread core each,
+a scaled-down clock so service times sit in the milliseconds) serves
+two workloads with very different verifier WCETs — ``web_server``
+(~1.3 k cycles) and ``kv_client`` (~100 cycles) — under bursty
+open-loop MMPP arrivals, in two phases on fresh same-seed testbeds:
+
+* ``peak`` — arrivals at the fleet's saturation rate;
+* ``overload`` — the same fleet at 2× saturation.
+
+Every request carries an absolute deadline; the full overload stack is
+on: deadline propagation with WCET-aware drops at the NIC, CoDel-style
+shedders at the gateway and per backend, a per-workload retry budget,
+and p95 hedged requests. The contract under test (the benchmark's
+gates): goodput at 2× saturation stays within 80 % of peak goodput,
+the p99 of *successful* requests stays bounded by the deadline, and no
+expired work is ever executed — NPU cycles are only ever charged to
+requests that could still meet their deadline when dispatched (the
+bounded race window is completions that expire mid-execution).
+
+``image_transformer`` sits this storm out: at the scaled-down NIC
+clock its WCET (~19.7 M cycles) exceeds any interactive deadline, so
+the admission story for it is the arrival-time infeasibility drop the
+unit tests cover, not a load-dependent gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..obs import TraceCollection
+from ..serverless import OverloadConfig, Testbed, open_loop
+from ..workloads import standard_workloads
+from .calibration import DEFAULT_CONFIG, ExperimentConfig
+from .harness import Cell, ExperimentReport
+
+#: A small, slow NIC fleet: 2 NICs x 1 core x 2 threads at 50 kHz-class
+#: clock puts web_server service at ~27 ms — saturation at O(100) rps,
+#: cheap enough to drive well past saturation in simulation.
+NIC_KWARGS = dict(
+    n_cores=1,
+    threads_per_core=2,
+    cores_per_island=1,
+    clock_hz=5e4,
+)
+
+#: Gateway stance: short timeout, few retries, breakers effectively out
+#: of the way (overload is not a target-health signal; ejecting a NIC
+#: that is merely busy would amplify the storm).
+GATEWAY_KWARGS = dict(
+    request_timeout=0.1,
+    max_retries=2,
+    backoff_base=0.01,
+    backoff_max=0.04,
+    breaker_threshold=10_000,
+    breaker_reset_timeout=0.5,
+)
+
+#: The full overload stack (Issue 8), all four mechanisms on.
+OVERLOAD = OverloadConfig(
+    deadline_seconds=0.3,
+    retry_budget_ratio=0.1,
+    shed_target_seconds=0.02,
+    backend_shed_target_seconds=0.06,
+    hedge_quantile=95.0,
+)
+
+#: Per-request deadline stamped by the load generator (relative s).
+DEADLINE_SECONDS = 0.3
+
+STORM_WORKLOADS = ["web_server", "kv_client"]
+
+#: Empirical fleet saturation (requests/s): web_server holds an NPU
+#: thread ~33 ms per request (1328 WCET + 300 pipeline cycles) and
+#: kv_client ~15 ms (two serve passes, each paying the pipeline cost),
+#: so 60 + 135 rps ≈ the fleet's 4 threads fully busy.
+SATURATION_RATE_RPS = {"web_server": 60.0, "kv_client": 135.0}
+
+DURATION_SECONDS = 8.0
+
+#: (phase label, arrival-rate multiplier over saturation).
+PHASES = (("peak", 1.0), ("overload", 2.0))
+
+
+def _nic_stats(tb: Testbed) -> Dict[str, int]:
+    """Fleet-wide NIC drop/expiry accounting."""
+    totals = dict(expired_on_arrival=0, expired_on_dequeue=0,
+                  expired_completions=0, shed=0, served=0)
+    for nic in tb.nics:
+        totals["expired_on_arrival"] += nic.stats.expired_on_arrival
+        totals["expired_on_dequeue"] += nic.stats.expired_on_dequeue
+        totals["expired_completions"] += nic.stats.expired_completions
+        totals["shed"] += nic.stats.shed
+        totals["served"] += nic.stats.requests_served
+    return totals
+
+
+def run_phase(phase: str, scale: float, seed: int = 42,
+              duration: float = DURATION_SECONDS,
+              trace: bool = False) -> dict:
+    """One load phase on a fresh testbed; returns results and stats."""
+    tb = Testbed(
+        seed=seed, n_workers=2, with_tracing=trace,
+        gateway_kwargs=dict(GATEWAY_KWARGS),
+        nic_kwargs=dict(NIC_KWARGS),
+        overload=OVERLOAD,
+    )
+    tb.add_lambda_nic_backend()
+    specs = standard_workloads()
+
+    def scenario(env):
+        for name in STORM_WORKLOADS:
+            yield tb.manager.deploy(specs[name], "lambda-nic")
+        procs = {}
+        for name in STORM_WORKLOADS:
+            spec = specs[name]
+            procs[name] = open_loop(
+                env, tb.gateway, name,
+                rate_rps=SATURATION_RATE_RPS[name] * scale,
+                duration=duration,
+                rng=tb.rng.stream(f"load:{phase}:{name}"),
+                payload_bytes=spec.request_bytes if spec.uses_rdma else None,
+                arrival="mmpp",
+                deadline_seconds=DEADLINE_SECONDS,
+            )
+        yield env.all_of(list(procs.values()))
+        return {name: proc.value for name, proc in procs.items()}
+
+    process = tb.env.process(scenario(tb.env))
+    tb.run(until=process)
+    results = process.value
+    gw = tb.gateway
+    return {
+        "testbed": tb,
+        "results": results,
+        "nic": _nic_stats(tb),
+        "gateway": {
+            "hedges": int(gw.hedged_requests_total.total),
+            "retries": int(gw.retries_total.total),
+            "shed": int(gw.shed_total.total),
+            "expired": int(gw.expired_total.total),
+            "budget_exhausted": int(gw.retry_budget_exhausted_total.total),
+            "duplicates": int(gw.duplicate_responses_total.total),
+            "requests": int(gw.requests_total.total),
+        },
+    }
+
+
+def run_storm(seed: int = 42, duration: float = DURATION_SECONDS,
+              trace: bool = False) -> dict:
+    """Run both phases; returns {phase: run_phase(...) dict}."""
+    return {
+        phase: run_phase(phase, scale, seed=seed, duration=duration,
+                         trace=trace)
+        for phase, scale in PHASES
+    }
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """The registered experiment entry point."""
+    config = config or DEFAULT_CONFIG
+    storm = run_storm(seed=config.seed, trace=config.trace)
+    collection = None
+    if config.trace:
+        collection = TraceCollection()
+        for phase, _ in PHASES:
+            collection.add(phase, storm[phase]["testbed"].tracer)
+
+    cells = {}
+    rows = []
+    for phase, scale in PHASES:
+        for name in STORM_WORKLOADS:
+            result = storm[phase]["results"][name]
+            cells[f"{name}:{phase}"] = Cell(
+                workload=name, backend="lambda-nic",
+                mean=result.mean_latency, p50=result.percentile(50),
+                p99=result.percentile(99),
+                samples=sorted(result.latencies),
+                extra={
+                    "phase": phase,
+                    "goodput_rps": result.goodput_rps,
+                    "shed": result.shed,
+                    "expired": result.expired,
+                    "budget_exhausted": result.budget_exhausted,
+                },
+            )
+            rows.append([
+                name,
+                phase,
+                result.goodput_rps,
+                result.throughput_rps,
+                result.percentile(99) * 1e3,
+                result.shed,
+                result.expired,
+                result.budget_exhausted,
+            ])
+
+    peak_nic = storm["peak"]["nic"]
+    over_nic = storm["overload"]["nic"]
+    peak_gw = storm["peak"]["gateway"]
+    over_gw = storm["overload"]["gateway"]
+    report = ExperimentReport(
+        experiment="Overload storm",
+        title="open-loop load past saturation with overload control",
+        headers=["workload", "phase", "goodput_rps", "throughput_rps",
+                 "p99_ms", "shed", "expired", "budget_exh"],
+        rows=rows,
+        notes=[
+            f"peak: {peak_gw['hedges']} hedges, {peak_gw['retries']} "
+            f"retries, NIC drops "
+            f"{peak_nic['expired_on_arrival']}+{peak_nic['shed']} "
+            f"(arrival-expired + shed), "
+            f"{peak_nic['expired_on_dequeue']} dequeue-expired",
+            f"overload (2x): {over_gw['hedges']} hedges, "
+            f"{over_gw['retries']} retries, "
+            f"{over_gw['budget_exhausted']} budget-exhausted, NIC drops "
+            f"{over_nic['expired_on_arrival']}+{over_nic['shed']} "
+            f"(arrival-expired + shed), "
+            f"{over_nic['expired_on_dequeue']} dequeue-expired, "
+            f"{over_nic['expired_completions']} in-flight expiries",
+        ],
+        cells=cells,
+        trace=collection,
+    )
+    return report

@@ -23,6 +23,7 @@ from ..net import (
     UDPHeader,
 )
 from ..net.network import Node
+from ..net.packet import DEADLINE_META
 from ..obs import CounterAttribute, MetricsRegistry, Tracer
 from ..sim import Environment, Resource
 from .cpu import HostCPU
@@ -75,6 +76,14 @@ class ServerStats:
         "host_handler_errors_total", "handlers that raised")
     crashes = CounterAttribute(
         "host_crashes_total", "machine crashes")
+    expired = CounterAttribute(
+        "host_expired_total",
+        "requests dropped: deadline passed before the handler ran")
+    expired_completions = CounterAttribute(
+        "host_expired_completions_total",
+        "handlers that finished past their deadline (in-flight race)")
+    shed = CounterAttribute(
+        "host_shed_total", "requests rejected by the host load shedder")
 
     def __init__(self, registry: Optional["MetricsRegistry"] = None,
                  node: str = "") -> None:
@@ -183,6 +192,7 @@ class HostServer:
         params: Optional[HostParams] = None,
         cpu: Optional[HostCPU] = None,
         metrics: Optional[MetricsRegistry] = None,
+        shedder=None,
     ) -> None:
         self.env = env
         self.node = node
@@ -192,6 +202,9 @@ class HostServer:
                                   node=self.name)
         self.memory = HostMemory()
         self.stats = ServerStats(registry=metrics, node=self.name)
+        #: Optional per-server load shedder (CoDel-style): fed the
+        #: runtime-dispatch wait on every request, consulted at arrival.
+        self.shedder = shedder
         #: False after :meth:`crash`: inbound packets are dropped and
         #: in-flight handlers die silently until :meth:`restart`.
         self.online = True
@@ -347,6 +360,19 @@ class HostServer:
             if span is not None:
                 tracer.end(span, tags={"verdict": "dropped_cold"})
             return
+        deadline = packet.meta.get(DEADLINE_META)
+        if deadline is not None and self.env.now > deadline:
+            # Kernel-rx dequeue check: the deadline passed before the
+            # runtime ever saw the request.
+            self.stats.expired += 1
+            if span is not None:
+                tracer.end(span, tags={"verdict": "expired"})
+            return
+        if self.shedder is not None and self.shedder.should_shed():
+            self.stats.shed += 1
+            if span is not None:
+                tracer.end(span, tags={"verdict": "shed"})
+            return
 
         # Runtime plumbing: overlay network / dispatch to the lambda.
         # For Python-based runtimes the dispatch path itself runs under
@@ -370,6 +396,17 @@ class HostServer:
                 parent=span, node=self.name, start=dispatch_start,
                 tags={"runtime": deployment.runtime.name},
             ))
+        if self.shedder is not None:
+            # The dispatch wait (runtime demux, GIL queueing) is the
+            # host's run-queue sojourn signal.
+            self.shedder.observe(self.env.now - dispatch_start, self.env.now)
+        if deadline is not None and self.env.now > deadline:
+            # Run-queue dequeue check: the request aged out while
+            # queued for dispatch — drop before running the handler.
+            self.stats.expired += 1
+            if span is not None:
+                tracer.end(span, tags={"verdict": "expired_dispatch"})
+            return
 
         handler_span = None
         if span is not None:
@@ -406,6 +443,11 @@ class HostServer:
             if span is not None:
                 tracer.end(span, tags={"verdict": "crashed"})
             return
+        if deadline is not None and self.env.now > deadline:
+            # In-flight race: the handler had started before the
+            # deadline passed. Allowed but counted; the response still
+            # goes out (the gateway absorbs it as late).
+            self.stats.expired_completions += 1
         tx_start = self.env.now
         yield self.env.timeout(kernel.tx_seconds)
         self.cpu.account("kernel", kernel.cpu_per_packet_seconds)

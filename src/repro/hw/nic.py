@@ -32,6 +32,7 @@ from ..net import (
     UDPHeader,
 )
 from ..net.network import Node
+from ..net.packet import DEADLINE_META
 from ..obs import CounterAttribute, MetricsRegistry, Tracer
 from ..sim import Environment
 from ..transport import ReorderBuffer
@@ -91,6 +92,17 @@ class NicStats:
     swap_downtime_seconds = CounterAttribute(
         "nic_swap_downtime_seconds_total", "time spent dark in swaps",
         cast=float)
+    expired_on_arrival = CounterAttribute(
+        "nic_expired_arrivals_total",
+        "requests dropped on arrival: deadline unreachable (WCET-aware)")
+    expired_on_dequeue = CounterAttribute(
+        "nic_expired_dequeued_total",
+        "requests dropped at the NPU thread grant: deadline passed")
+    expired_completions = CounterAttribute(
+        "nic_expired_completions_total",
+        "executions that finished past their deadline (in-flight race)")
+    shed = CounterAttribute(
+        "nic_shed_total", "requests rejected by the NIC load shedder")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  node: str = "") -> None:
@@ -179,6 +191,7 @@ class SmartNIC:
         memo_entries: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
         engine: Optional[str] = None,
+        shedder=None,
     ) -> None:
         if scheduler is None:
             if rng is None:
@@ -193,6 +206,19 @@ class SmartNIC:
         self.firmware_swap_seconds = firmware_swap_seconds
         self.memory = NicMemory()
         self.stats = NicStats(registry=metrics, node=self.name)
+        #: Optional per-NIC load shedder (CoDel-style): fed the NPU
+        #: thread-grant wait on every dispatch, consulted at arrival.
+        self.shedder = shedder
+        #: Verifier WCET of the installed firmware at this NIC's clock,
+        #: cached at install time; powers the arrival-time deadline
+        #: feasibility check. None when the firmware ships no report.
+        self._wcet_seconds: Optional[float] = None
+        #: Per-lambda WCET (seconds) from the composed firmware's
+        #: function-level verifier bounds.
+        self._lambda_wcet: Dict[str, float] = {}
+        #: Service-seconds sitting in NPU run queues right now (cycle
+        #: counts are known at dispatch, so this tally is exact).
+        self._queued_service_seconds = 0.0
         #: Reference interpreter — kept as the executable specification
         #: (and the engine when ``engine="interpreter"``).
         self.interpreter = Interpreter(clock_hz=clock_hz)
@@ -303,6 +329,22 @@ class SmartNIC:
         self._wid_to_lambda = {
             wid: name for name, wid in firmware.lambda_ids.items()
         }
+        report = firmware.verifier_report
+        self._wcet_seconds = (
+            report.wcet_seconds(self.clock_hz)
+            if report is not None and report.wcet_cycles is not None
+            else None
+        )
+        # Per-lambda WCET at this NIC's clock: each lambda's entry is a
+        # function of the composed program, so the verifier's
+        # function-level bounds give a per-lambda figure that the
+        # whole-firmware bound (the max across lambdas) would smear.
+        self._lambda_wcet = {}
+        if report is not None:
+            for name in firmware.lambda_ids:
+                cycles = report.function_wcet.get(name)
+                if cycles is not None:
+                    self._lambda_wcet[name] = cycles / self.clock_hz
         # Persistent global objects (state persists across runs, §4.1).
         self._lambda_memory = {
             obj.name: bytearray(obj.size_bytes)
@@ -402,6 +444,38 @@ class SmartNIC:
     @property
     def total_threads(self) -> int:
         return sum(core.threads for core in self.cores)
+
+    def wcet_for(self, lambda_name: Optional[str]) -> Optional[float]:
+        """The WCET bound (seconds) to assume for one request.
+
+        Prefers the lambda's own function-level bound; falls back to
+        the whole-firmware bound when the lambda is unknown.
+        """
+        if lambda_name is not None:
+            wcet = self._lambda_wcet.get(lambda_name)
+            if wcet is not None:
+                return wcet
+        return self._wcet_seconds
+
+    def queue_delay_estimate(self) -> float:
+        """Expected thread-grant wait for a new arrival, in seconds.
+
+        Every dispatch's cycle count is known before it queues, so the
+        NIC keeps an exact tally of queued service-seconds; a new
+        arrival behind a work-conserving fleet of ``threads`` threads
+        waits about ``queued_seconds / threads``. With a free thread
+        the wait is zero. The estimate omits the running requests'
+        remainders (slightly optimistic); the dequeue-time deadline
+        check is the backstop and wastes no cycles.
+        """
+        cores = self.available_cores
+        if not cores:
+            return 0.0
+        free = sum(core.threads - core.busy_threads for core in cores)
+        if free > 0:
+            return 0.0
+        threads = sum(core.threads for core in cores)
+        return self._queued_service_seconds / threads
 
     # -- failure injection ----------------------------------------------------
 
@@ -595,6 +669,42 @@ class SmartNIC:
         if lambda_header is not None:
             lambda_name = self._wid_to_lambda.get(lambda_header.get("wid"))
 
+        deadline = packet.meta.get(DEADLINE_META)
+        # A service-response continuation resumes a request that already
+        # paid for its first pass: dropping it now would waste those
+        # cycles, so it bypasses the feasibility estimate and the
+        # shedder — only provable lateness (here and at dequeue) kills it.
+        continuation = bool(extra_meta and extra_meta.get("service_response"))
+        if deadline is not None:
+            if continuation:
+                feasible = self.env.now <= deadline
+            else:
+                # WCET-aware arrival check: with the verifier's WCET
+                # bound even an optimally scheduled execution takes
+                # queue_delay + WCET — if that lands past the deadline
+                # the work is dead on arrival and is dropped before
+                # costing any NPU cycles. The bound is this lambda's
+                # own (function-level WCET of the composed firmware),
+                # so a heavyweight co-resident lambda does not doom a
+                # lightweight one's packets.
+                wcet = self.wcet_for(lambda_name)
+                feasible_at = (self.env.now + self.queue_delay_estimate()
+                               + (wcet if wcet is not None else 0.0))
+                feasible = feasible_at <= deadline
+            if not feasible:
+                self.stats.expired_on_arrival += 1
+                self._trace_drop(packet, "expired")
+                if serve_span is not None:
+                    tracer.end(serve_span, tags={"verdict": "expired"})
+                return
+        if (self.shedder is not None and not continuation
+                and self.shedder.should_shed()):
+            self.stats.shed += 1
+            self._trace_drop(packet, "shed")
+            if serve_span is not None:
+                tracer.end(serve_span, tags={"verdict": "shed"})
+            return
+
         if serve_span is not None:
             tracer.instant(
                 "nic.parse", "nic", trace_id=serve_span.trace_id,
@@ -621,11 +731,36 @@ class SmartNIC:
                 tracer.end(serve_span, tags={"verdict": "dropped_no_cores"})
             return
         core = self.scheduler.pick_core(cores, lambda_name or "<none>")
-        yield self.env.process(core.execute(
+        duration = cycles / self.clock_hz
+        self._queued_service_seconds += duration
+
+        def dequeued(waited, _duration=duration):
+            # Thread granted (or dropped): the work is no longer queued.
+            self._queued_service_seconds -= _duration
+            if self.shedder is not None:
+                self.shedder.observe(waited, self.env.now)
+
+        elapsed = yield self.env.process(core.execute(
             cycles,
             trace=((serve_span.trace_id, serve_span.span_id)
                    if serve_span is not None else None),
+            deadline=deadline,
+            on_dequeue=dequeued,
         ))
+        if elapsed is None:
+            # Dequeue check: the deadline passed while queued for an
+            # NPU thread — the core dropped the work without charging
+            # cycles, so expired requests are never executed.
+            self.stats.expired_on_dequeue += 1
+            self._trace_drop(packet, "expired_dequeue")
+            if serve_span is not None:
+                tracer.end(serve_span, tags={"verdict": "expired_dequeue"})
+            return
+        if deadline is not None and self.env.now > deadline:
+            # The in-flight race window: the execution had started (or
+            # was committed) before the deadline passed. It is allowed
+            # but counted — the overload gates bound this.
+            self.stats.expired_completions += 1
 
         self.stats.total_cycles += cycles
         self.stats.busy_seconds += cycles / self.clock_hz
@@ -659,6 +794,10 @@ class SmartNIC:
             )
             # The call outlives this serve pass, so it carries the
             # original (still-open) request context, not the serve span.
+            # The deadline rides along too: the eventual response pass
+            # is as useless past the deadline as the request itself.
+            if deadline is not None:
+                call.meta[DEADLINE_META] = deadline
             Tracer.propagate(packet, call)
             self.node.send(call)
 

@@ -55,16 +55,32 @@ class NPUCore:
     def queue_depth(self) -> int:
         return len(self.slots.queue)
 
-    def execute(self, cycles: int, trace=None):
+    def execute(self, cycles: int, trace=None, deadline=None,
+                on_dequeue=None):
         """Process generator: occupy one thread for ``cycles``.
 
         Run-to-completion: once started, the work is never preempted.
         ``trace`` is an optional ``(trace_id, parent_span_id)`` pair; a
         span then covers the thread-grant queueing plus the busy time.
+
+        ``deadline`` (absolute sim time) is checked at the thread
+        grant — the dequeue point of the NPU run queue. Run-to-
+        completion with a known cycle count makes lateness provable
+        before any cycle is charged: work that cannot finish by its
+        deadline returns ``None`` without executing. ``on_dequeue``
+        (optional callable) receives the thread-grant queue wait in
+        seconds, the sojourn signal the load shedders watch. Without a
+        deadline the return value is the elapsed (queue + busy)
+        seconds, as before.
         """
         start = self.env.now
         with self.slots.request() as slot:
             yield slot
+            if on_dequeue is not None:
+                on_dequeue(self.env.now - start)
+            if (deadline is not None
+                    and self.env.now + cycles / self.clock_hz > deadline):
+                return None
             duration = cycles / self.clock_hz
             yield self.env.timeout(duration)
             self.stats.requests += 1

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..net import (
+    DEADLINE_META,
     EthernetHeader,
     HeaderStack,
     IPv4Header,
@@ -147,5 +148,10 @@ class MemcachedServer:
             payload=value,
             payload_bytes=max(len(value), 16),
         )
+        # Deadline propagation: the reply inherits the request's
+        # deadline so the caller's response pass can drop dead work.
+        deadline = request.meta.get(DEADLINE_META)
+        if deadline is not None:
+            response.meta[DEADLINE_META] = deadline
         Tracer.propagate(request, response)
         self.node.send(response)

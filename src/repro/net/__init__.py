@@ -16,11 +16,12 @@ from .headers import (
 )
 from .link import Link, LinkStats
 from .network import Network, Node, TEN_GBPS
-from .packet import Packet
+from .packet import DEADLINE_META, Packet
 from .switch import Switch
 from .trace import PacketTracer, TraceRecord
 
 __all__ = [
+    "DEADLINE_META",
     "EthernetHeader",
     "Header",
     "HeaderStack",

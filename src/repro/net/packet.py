@@ -7,6 +7,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .headers import HeaderStack
 
+#: ``Packet.meta`` key carrying a request's absolute sim-time deadline.
+#: Defined here (the lowest layer every hop already imports) so the
+#: NIC/host dequeue checks need no dependency on the serverless
+#: package; ``repro.serverless.overload`` re-exports it.
+DEADLINE_META = "deadline"
+
 _packet_ids = itertools.count(1)
 
 

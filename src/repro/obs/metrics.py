@@ -55,6 +55,19 @@ class Counter:
     def value(self, labels: Optional[Dict[str, str]] = None) -> float:
         return self._values.get(_labelset(labels), 0.0)
 
+    def sum_matching(self, labels: Optional[Dict[str, str]] = None) -> float:
+        """Sum over every labelset containing all the given pairs.
+
+        :meth:`value` is an exact-labelset lookup; this aggregates over
+        the remaining label dimensions — e.g. all ``reason`` values of
+        one ``workload`` on a failure counter split by cause.
+        """
+        want = _labelset(labels)
+        if not want:
+            return self.total
+        return sum(value for key, value in self._values.items()
+                   if all(pair in key for pair in want))
+
     def items(self) -> List[Tuple[Dict[str, str], float]]:
         """(labels dict, value) pairs for every labelset seen."""
         return [(dict(key), value) for key, value in self._values.items()]

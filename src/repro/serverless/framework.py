@@ -26,6 +26,7 @@ from .manager import WorkloadManager
 from .metrics import MetricsRegistry
 from .migration import MigrationController, MigrationPolicy, PlacementScorer
 from .monitor import HealthMonitor, MonitoringEngine, WatchService
+from .overload import CoDelShedder, OverloadConfig
 from .storage import ObjectStorage
 
 #: Names mirroring the paper's testbed machines.
@@ -52,6 +53,7 @@ class Testbed:
         manager_kwargs: Optional[dict] = None,
         failover_kwargs: Optional[dict] = None,
         migration_kwargs: Optional[dict] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         if not 1 <= n_workers <= len(WORKERS):
             raise ValueError(f"n_workers must be in [1, {len(WORKERS)}]")
@@ -68,10 +70,18 @@ class Testbed:
             self.env.set_tracer(self.tracer)
         self.worker_names = WORKERS[:n_workers]
         self.nic_kwargs = dict(nic_kwargs or {})
+        #: End-to-end overload control (Issue 8). When None, no
+        #: shedders exist, no extra rng streams are created, and every
+        #: request path is byte-identical to an overload-less build.
+        self.overload = overload
 
         # Master node: gateway + storage + memcached (+ etcd, monitoring).
         gw_kwargs = dict(gateway_kwargs or {})
         gw_kwargs.setdefault("rng", self.rng.stream("gateway"))
+        if overload is not None:
+            gw_kwargs.setdefault("overload", overload)
+            gw_kwargs.setdefault("overload_rng",
+                                 self.rng.stream("overload:gateway"))
         self.gateway = Gateway(
             self.env,
             self.network.add_node(MASTER),
@@ -143,11 +153,26 @@ class Testbed:
 
     # -- backend construction -------------------------------------------------
 
+    def _backend_shedder(self, name: str) -> Optional[CoDelShedder]:
+        """A per-backend-instance shedder, or None when disabled."""
+        ov = self.overload
+        if ov is None or ov.backend_shed_target_seconds is None:
+            return None
+        return CoDelShedder(
+            ov.backend_shed_target_seconds,
+            interval_seconds=ov.shed_interval_seconds,
+            rng=self.rng.stream(f"overload:{name}"),
+            max_probability=ov.shed_max_probability,
+        )
+
     def _make_host_servers(self, suffix: str) -> List[HostServer]:
         servers = []
         for name in self.worker_names:
             node = self.network.add_node(f"{name}-{suffix}")
-            servers.append(HostServer(self.env, node, metrics=self.metrics))
+            servers.append(HostServer(
+                self.env, node, metrics=self.metrics,
+                shedder=self._backend_shedder(f"{name}-{suffix}"),
+            ))
         return servers
 
     def add_container_backend(self) -> ContainerBackend:
@@ -175,6 +200,7 @@ class Testbed:
                 self.env, node,
                 rng=self.rng.stream(f"nic:{name}"),
                 metrics=self.metrics,
+                shedder=self._backend_shedder(f"{name}-nic"),
                 **self.nic_kwargs,
             ))
         self.nic_runtime = LambdaNicRuntime(self.env, self._nics,

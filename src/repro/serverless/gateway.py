@@ -31,6 +31,7 @@ from ..obs import Tracer
 from ..sim import Environment, Resource
 from .breaker import STATE_VALUES, CircuitBreaker
 from .metrics import MetricsRegistry
+from .overload import CoDelShedder, DEADLINE_META, OverloadConfig, RetryBudget
 
 
 @dataclass
@@ -64,6 +65,29 @@ class RequestOutcome:
 class GatewayTimeout(Exception):
     """A request exhausted its retries."""
 
+    #: Failure cause, mirrored into ``gateway_failures_total``'s
+    #: ``reason`` label. Subclasses refine it so load generators and
+    #: dashboards can tell degradation modes apart.
+    reason = "timeout"
+
+
+class RequestExpired(GatewayTimeout):
+    """The request's deadline passed before it could complete."""
+
+    reason = "expired"
+
+
+class RequestShed(GatewayTimeout):
+    """The gateway's load shedder rejected the request at arrival."""
+
+    reason = "shed"
+
+
+class RetryBudgetExhausted(GatewayTimeout):
+    """A retry was needed but the workload's retry budget was empty."""
+
+    reason = "retry_budget_exhausted"
+
 
 #: Upper bound on remembered dual-routed request ids (dedup window).
 MIRROR_DEDUP_WINDOW = 4096
@@ -88,6 +112,8 @@ class Gateway:
         backoff_max: float = 1.0,
         breaker_threshold: int = 3,
         breaker_reset_timeout: float = 1.0,
+        overload: Optional[OverloadConfig] = None,
+        overload_rng=None,
     ) -> None:
         self.env = env
         self.node = node
@@ -105,6 +131,19 @@ class Gateway:
         self.backoff_max = backoff_max
         self.breaker_threshold = breaker_threshold
         self.breaker_reset_timeout = breaker_reset_timeout
+        #: Overload-control knobs (deadlines, retry budgets, shedding,
+        #: hedging). None keeps the request path byte-identical to a
+        #: gateway without the layer.
+        self.overload = overload
+        self._retry_budgets: Dict[str, RetryBudget] = {}
+        self._shedder: Optional[CoDelShedder] = None
+        if overload is not None and overload.shed_target_seconds is not None:
+            self._shedder = CoDelShedder(
+                overload.shed_target_seconds,
+                interval_seconds=overload.shed_interval_seconds,
+                rng=overload_rng if overload_rng is not None else rng,
+                max_probability=overload.shed_max_probability,
+            )
         self._proxy = Resource(env, capacity=proxy_concurrency)
         self._routes: Dict[str, Route] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
@@ -149,6 +188,22 @@ class Gateway:
         self.mirrored_requests_total = self.metrics.counter(
             "gateway_mirrored_requests_total",
             "request copies sent to a migration mirror target",
+        )
+        self.shed_total = self.metrics.counter(
+            "gateway_shed_total",
+            "requests rejected at arrival by the load shedder",
+        )
+        self.expired_total = self.metrics.counter(
+            "gateway_expired_total",
+            "requests dropped because their deadline passed",
+        )
+        self.hedged_requests_total = self.metrics.counter(
+            "gateway_hedged_requests_total",
+            "hedge copies sent after the latency-percentile trigger",
+        )
+        self.retry_budget_exhausted_total = self.metrics.counter(
+            "gateway_retry_budget_exhausted_total",
+            "requests failed fast on an empty retry budget",
         )
         self.probes_total = self.metrics.counter(
             "gateway_probes_total", "health-probe requests sent"
@@ -236,6 +291,13 @@ class Gateway:
         """
         return self._outstanding.get(workload, 0)
 
+    def _drop_outstanding(self, workload: str) -> None:
+        left = self._outstanding.get(workload, 1) - 1
+        if left > 0:
+            self._outstanding[workload] = left
+        else:
+            self._outstanding.pop(workload, None)
+
     def _register_mirrored(self, request_id: int, copies: int) -> None:
         self._mirrored[request_id] = copies
         self._mirrored.move_to_end(request_id)
@@ -298,6 +360,53 @@ class Gateway:
             # Decorrelate retries: uniform over [delay/2, delay].
             delay *= 0.5 + 0.5 * self.rng.random()
         return delay
+
+    # -- overload control ---------------------------------------------------
+
+    def _fail(self, workload: str, reason: str) -> None:
+        """Count one terminal failure, split by cause.
+
+        The ``reason`` label distinguishes degradation modes; the
+        counter's unlabeled ``total`` still sums every failure, and
+        per-workload aggregates use ``sum_matching``.
+        """
+        self.failures_total.inc(labels={"workload": workload,
+                                        "reason": reason})
+
+    def retry_budget(self, workload: str) -> Optional[RetryBudget]:
+        """The (lazily created) per-workload retry budget, if enabled."""
+        ov = self.overload
+        if ov is None or ov.retry_budget_ratio is None:
+            return None
+        budget = self._retry_budgets.get(workload)
+        if budget is None:
+            budget = RetryBudget(ov.retry_budget_ratio,
+                                 floor=ov.retry_budget_floor,
+                                 cap=ov.retry_budget_cap)
+            self._retry_budgets[workload] = budget
+        return budget
+
+    @property
+    def shedder(self) -> Optional[CoDelShedder]:
+        return self._shedder
+
+    def _hedge_delay(self, workload: str) -> Optional[float]:
+        """How long to wait before hedging, or None to not hedge.
+
+        The trigger is the configured latency percentile of this
+        workload's own completed requests; until enough samples exist
+        there is no trustworthy estimate and no hedging.
+        """
+        ov = self.overload
+        if ov is None or ov.hedge_quantile is None:
+            return None
+        labels = {"workload": workload}
+        if self.latency_histogram.count(labels=labels) < ov.hedge_min_samples:
+            return None
+        delay = self.latency_histogram.percentile(
+            ov.hedge_quantile, labels=labels
+        )
+        return delay if delay > 0.0 else None
 
     def probe_target(self, workload: str, target: str,
                      timeout: Optional[float] = None):
@@ -372,19 +481,50 @@ class Gateway:
         waiter.succeed(packet)
 
     def request(self, workload: str, payload: Any = None,
-                payload_bytes: Optional[int] = None):
+                payload_bytes: Optional[int] = None,
+                deadline: Optional[float] = None):
         """Process: one user request through the gateway.
 
+        ``deadline`` is an absolute sim time; it is stamped into every
+        packet sent for the request so downstream queues can drop
+        already-dead work, and the gateway itself gives up (with
+        :class:`RequestExpired`) once it passes. With no explicit
+        deadline the configured ``OverloadConfig.deadline_seconds``
+        (if any) applies.
+
         Returns a :class:`RequestOutcome`; raises
-        :class:`GatewayTimeout` after ``max_retries`` unanswered sends.
+        :class:`GatewayTimeout` after ``max_retries`` unanswered sends
+        (or one of its typed subclasses for shed / expired /
+        budget-exhausted outcomes).
         """
-        return self.env.process(self._request(workload, payload, payload_bytes))
+        return self.env.process(
+            self._request(workload, payload, payload_bytes, deadline)
+        )
 
     def _request(self, workload: str, payload: Any,
-                 payload_bytes: Optional[int]):
+                 payload_bytes: Optional[int],
+                 deadline: Optional[float] = None):
         size = payload_bytes if payload_bytes is not None else (
             len(payload) if isinstance(payload, (bytes, bytearray)) else 64
         )
+        ov = self.overload
+        if deadline is None and ov is not None and \
+                ov.deadline_seconds is not None:
+            deadline = self.env.now + ov.deadline_seconds
+        if self._shedder is not None and self._shedder.should_shed():
+            # Admission control happens before any queueing or sends:
+            # a shed request costs the system nothing downstream.
+            self.shed_total.inc(labels={"workload": workload})
+            self._fail(workload, "shed")
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.instant("gateway.shed", "gateway",
+                               trace_id=tracer.new_trace(), node=self.name,
+                               tags={"workload": workload})
+            raise RequestShed(f"request to {workload!r} shed under overload")
+        budget = self.retry_budget(workload)
+        if budget is not None:
+            budget.note_request()
         retries = 0
         start = None
         hold = self._holds.get(workload)
@@ -398,7 +538,7 @@ class Gateway:
             try:
                 route = self.route_for(workload)
             except KeyError:
-                self.failures_total.inc(labels={"workload": workload})
+                self._fail(workload, "timeout")
                 raise GatewayTimeout(
                     f"workload {workload!r} was undeployed mid-request"
                 ) from None
@@ -425,8 +565,28 @@ class Gateway:
                     tags={"request_id": request_id},
                 )
             # Proxy (NAT / route lookup / header insertion) — serialised.
+            queued_at = self.env.now
             with self._proxy.request() as slot:
                 yield slot
+                if self._shedder is not None:
+                    # The proxy queue is the gateway's sojourn signal.
+                    self._shedder.observe(self.env.now - queued_at,
+                                          self.env.now)
+                if deadline is not None and self.env.now > deadline:
+                    # Dequeue check: the deadline passed while queued
+                    # behind the proxy — drop instead of sending dead
+                    # work downstream.
+                    self._pending.pop(request_id, None)
+                    self._drop_outstanding(workload)
+                    self.expired_total.inc(labels={"workload": workload})
+                    self._fail(workload, "expired")
+                    if tracer is not None:
+                        tracer.end(proxy_span, tags={"expired": 1})
+                        tracer.end(root, tags={"ok": 0, "expired": 1,
+                                               "retries": retries})
+                    raise RequestExpired(
+                        f"request to {workload!r} expired in the proxy queue"
+                    )
                 yield self.env.timeout(self.proxy_seconds)
                 target = self._pick_target(route)
                 if start is None:
@@ -437,7 +597,7 @@ class Gateway:
                 if tracer is not None:
                     tracer.end(proxy_span, tags={"target": target})
                 self._send_request(route, target, request_id, payload, size,
-                                   span=root)
+                                   span=root, deadline=deadline)
                 mirror = self._mirrors.get(workload)
                 if mirror is not None:
                     # Dual-route the same request id to the migration
@@ -447,17 +607,54 @@ class Gateway:
                         labels={"workload": workload}
                     )
                     self._send_request(mirror, mirror.next_target(),
-                                       request_id, payload, size, span=root)
-            outcome = yield self.env.any_of(
-                [waiter, self.env.timeout(self.request_timeout, value=None)]
-            )
-            response = waiter.value if waiter in outcome else None
-            self._pending.pop(request_id, None)
-            left = self._outstanding.get(workload, 1) - 1
-            if left > 0:
-                self._outstanding[workload] = left
+                                       request_id, payload, size, span=root,
+                                       deadline=deadline)
+            wait_timeout = self.request_timeout
+            if deadline is not None:
+                # Waiting past the deadline is pointless: the caller
+                # has already given up on this request.
+                wait_timeout = min(wait_timeout,
+                                   max(0.0, deadline - self.env.now))
+            hedge_delay = None
+            if mirror is None and retries == 0 and len(route.targets) > 1:
+                hedge_delay = self._hedge_delay(workload)
+            if hedge_delay is not None and hedge_delay < wait_timeout:
+                # Tail-at-scale hedging: wait out the configured
+                # percentile first, then race a second copy (same
+                # request id; _receive absorbs whichever loses).
+                outcome = yield self.env.any_of(
+                    [waiter, self.env.timeout(hedge_delay, value=None)]
+                )
+                if not waiter.triggered:
+                    if budget is None or budget.withdraw():
+                        hedge_target = self._pick_target(route)
+                        self._register_mirrored(request_id, 2)
+                        self.hedged_requests_total.inc(
+                            labels={"workload": workload}
+                        )
+                        if tracer is not None:
+                            tracer.instant(
+                                "gateway.hedge", "gateway",
+                                trace_id=root.trace_id, parent=root,
+                                node=self.name,
+                                tags={"target": hedge_target},
+                            )
+                        self._send_request(route, hedge_target, request_id,
+                                           payload, size, span=root,
+                                           deadline=deadline)
+                    outcome = yield self.env.any_of(
+                        [waiter,
+                         self.env.timeout(wait_timeout - hedge_delay,
+                                          value=None)]
+                    )
+                response = waiter.value if waiter.triggered else None
             else:
-                self._outstanding.pop(workload, None)
+                outcome = yield self.env.any_of(
+                    [waiter, self.env.timeout(wait_timeout, value=None)]
+                )
+                response = waiter.value if waiter in outcome else None
+            self._pending.pop(request_id, None)
+            self._drop_outstanding(workload)
             if response is not None:
                 if target in self._breakers:
                     self._breakers[target].record_success(self.env.now)
@@ -473,6 +670,19 @@ class Gateway:
             # Forget any mirror copies for the timed-out id: arrivals
             # from here on are late responses, not duplicates.
             self._mirrored.pop(request_id, None)
+            if deadline is not None and self.env.now >= deadline:
+                # The client's deadline passed while waiting: retrying
+                # could only produce work nobody wants. The breaker is
+                # left alone — the target was never given a full
+                # request_timeout to answer.
+                self.expired_total.inc(labels={"workload": workload})
+                self._fail(workload, "expired")
+                if tracer is not None:
+                    tracer.end(root, tags={"ok": 0, "expired": 1,
+                                           "retries": retries})
+                raise RequestExpired(
+                    f"request to {workload!r} passed its deadline unanswered"
+                )
             self.breaker_for(target).record_failure(self.env.now)
             retries += 1
             self.retries_total.inc(labels={"workload": workload})
@@ -483,11 +693,25 @@ class Gateway:
                     tags={"target": target, "attempt": retries},
                 )
             if retries > self.max_retries:
-                self.failures_total.inc(labels={"workload": workload})
+                self._fail(workload, "timeout")
                 if tracer is not None:
                     tracer.end(root, tags={"ok": 0, "retries": retries})
                 raise GatewayTimeout(
                     f"request to {workload!r} unanswered after {retries - 1} retries"
+                )
+            if budget is not None and not budget.withdraw():
+                # Fail fast: the workload has burned its retry
+                # allowance, and piling on more load is exactly how
+                # retry storms turn overload into collapse.
+                self.retry_budget_exhausted_total.inc(
+                    labels={"workload": workload}
+                )
+                self._fail(workload, "retry_budget_exhausted")
+                if tracer is not None:
+                    tracer.end(root, tags={"ok": 0, "retries": retries,
+                                           "budget_exhausted": 1})
+                raise RetryBudgetExhausted(
+                    f"request to {workload!r}: retry budget exhausted"
                 )
             backoff_span = None
             if tracer is not None:
@@ -503,7 +727,7 @@ class Gateway:
             try:
                 route = self.route_for(workload)
             except KeyError:
-                self.failures_total.inc(labels={"workload": workload})
+                self._fail(workload, "timeout")
                 if tracer is not None:
                     tracer.end(root, tags={"ok": 0, "retries": retries,
                                            "undeployed": 1})
@@ -512,10 +736,11 @@ class Gateway:
                 ) from None
 
     def _send_request(self, route: Route, target: str, request_id: int,
-                      payload: Any, size: int, span=None) -> None:
+                      payload: Any, size: int, span=None,
+                      deadline: Optional[float] = None) -> None:
         if route.rdma_qp is not None:
             self._send_rdma(route, target, request_id, payload, size,
-                            span=span)
+                            span=span, deadline=deadline)
             return
         packet = Packet(
             src=self.name,
@@ -529,12 +754,25 @@ class Gateway:
             payload=payload,
             payload_bytes=size,
         )
+        if deadline is not None:
+            packet.meta[DEADLINE_META] = self._attempt_deadline(deadline)
         if span is not None:
             Tracer.stamp_packet(packet, span)
         self.node.send(packet)
 
+    def _attempt_deadline(self, deadline: float) -> float:
+        """The deadline stamped into one attempt's packets.
+
+        A response is useless to *this* attempt once its waiter times
+        out (a retry or hedge carries a fresh stamp), so the backend
+        should never work past ``min(overall deadline, now + timeout)``
+        — the gRPC-style per-attempt deadline.
+        """
+        return min(deadline, self.env.now + self.request_timeout)
+
     def _send_rdma(self, route: Route, target: str, request_id: int,
-                   payload: Any, size: int, span=None) -> None:
+                   payload: Any, size: int, span=None,
+                   deadline: Optional[float] = None) -> None:
         """Segment a large payload into RDMA writes (paper D3)."""
         segment = self.rdma_segment_bytes
         total = max(1, (size + segment - 1) // segment)
@@ -559,6 +797,8 @@ class Gateway:
                 payload=chunk,
                 payload_bytes=chunk_size,
             )
+            if deadline is not None:
+                packet.meta[DEADLINE_META] = self._attempt_deadline(deadline)
             if span is not None:
                 Tracer.stamp_packet(packet, span)
             self.node.send(packet)

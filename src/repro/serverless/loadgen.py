@@ -12,8 +12,17 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from ..sim import Environment, exponential
-from .gateway import Gateway, GatewayTimeout
+from .gateway import (
+    Gateway,
+    GatewayTimeout,
+    RequestExpired,
+    RequestShed,
+    RetryBudgetExhausted,
+)
 from .metrics import percentile_of
+
+#: Arrival processes :func:`open_loop` understands.
+ARRIVAL_PROCESSES = ("poisson", "pareto", "mmpp")
 
 
 @dataclass
@@ -25,6 +34,14 @@ class LoadResult:
     failures: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Overload-control outcome splits (each also counted in
+    #: ``failures`` — availability math is unchanged).
+    shed: int = 0
+    expired: int = 0
+    budget_exhausted: int = 0
+    #: The per-request deadline this run was generated with (relative
+    #: seconds); bounds what :attr:`goodput_rps` counts as useful.
+    deadline_seconds: Optional[float] = None
 
     @property
     def completed(self) -> int:
@@ -39,12 +56,39 @@ class LoadResult:
         return self.completed / self.duration if self.duration > 0 else 0.0
 
     @property
+    def goodput_rps(self) -> float:
+        """Requests completed *within their deadline* per second.
+
+        Throughput counts every completion; goodput only the useful
+        ones. Without a deadline the two coincide — completing at all
+        is the only definition of useful available.
+        """
+        if self.duration <= 0:
+            return 0.0
+        if self.deadline_seconds is None:
+            good = self.completed
+        else:
+            limit = self.deadline_seconds
+            good = sum(1 for latency in self.latencies if latency <= limit)
+        return good / self.duration
+
+    @property
     def mean_latency(self) -> float:
         return (sum(self.latencies) / len(self.latencies)
                 if self.latencies else float("nan"))
 
     def percentile(self, q: float) -> float:
         return percentile_of(sorted(self.latencies), q)
+
+    def record_failure(self, error: GatewayTimeout) -> None:
+        """Count one failed request, splitting typed overload outcomes."""
+        self.failures += 1
+        if isinstance(error, RequestShed):
+            self.shed += 1
+        elif isinstance(error, RequestExpired):
+            self.expired += 1
+        elif isinstance(error, RetryBudgetExhausted):
+            self.budget_exhausted += 1
 
 
 def closed_loop(
@@ -71,8 +115,8 @@ def closed_loop(
                         workload, payload=payload, payload_bytes=payload_bytes
                     )
                     result.latencies.append(outcome.latency)
-                except GatewayTimeout:
-                    result.failures += 1
+                except GatewayTimeout as error:
+                    result.record_failure(error)
                 if think_time > 0:
                     yield env.timeout(think_time)
 
@@ -85,6 +129,55 @@ def closed_loop(
     return env.process(run())
 
 
+def _arrival_gaps(arrival: str, rate_rps: float, rng,
+                  pareto_alpha: float, burstiness: float):
+    """Generator of inter-arrival gaps with mean ``1 / rate_rps``.
+
+    ``poisson``
+        Memoryless exponential gaps — the open-loop classic.
+    ``pareto``
+        Heavy-tailed gaps (shape ``pareto_alpha``, scaled so the mean
+        matches): long silences punctuated by dense bursts.
+    ``mmpp``
+        Two-state Markov-modulated Poisson process: a *hot* state at
+        ``burstiness``:1 intensity versus the *cold* state, with
+        exponential dwell times, same long-run mean rate.
+    """
+    mean_gap = 1.0 / rate_rps
+    if arrival == "poisson":
+        while True:
+            yield exponential(rng, mean_gap)
+    elif arrival == "pareto":
+        if pareto_alpha <= 1.0:
+            raise ValueError("pareto_alpha must exceed 1 (finite mean)")
+        xm = mean_gap * (pareto_alpha - 1.0) / pareto_alpha
+        while True:
+            u = rng.random()
+            yield xm / (1.0 - u) ** (1.0 / pareto_alpha)
+    elif arrival == "mmpp":
+        if burstiness <= 1.0:
+            raise ValueError("burstiness must exceed 1")
+        # Rates chosen so equal expected dwell in each state averages
+        # back to rate_rps: hot:cold intensity ratio is burstiness:1.
+        hot = rate_rps * 2.0 * burstiness / (1.0 + burstiness)
+        cold = rate_rps * 2.0 / (1.0 + burstiness)
+        mean_dwell = 1.0
+        in_hot = True
+        dwell = exponential(rng, mean_dwell)
+        while True:
+            gap = exponential(rng, 1.0 / (hot if in_hot else cold))
+            yield gap
+            dwell -= gap
+            if dwell <= 0.0:
+                in_hot = not in_hot
+                dwell = exponential(rng, mean_dwell)
+    else:
+        raise ValueError(
+            f"unknown arrival process {arrival!r}; "
+            f"expected one of {ARRIVAL_PROCESSES}"
+        )
+
+
 def open_loop(
     env: Environment,
     gateway: Gateway,
@@ -94,28 +187,44 @@ def open_loop(
     rng,
     payload: Any = None,
     payload_bytes: Optional[int] = None,
+    arrival: str = "poisson",
+    pareto_alpha: float = 1.5,
+    burstiness: float = 4.0,
+    deadline_seconds: Optional[float] = None,
 ):
-    """Process: Poisson arrivals at ``rate_rps`` for ``duration``."""
+    """Process: open-loop arrivals at mean ``rate_rps`` for ``duration``.
+
+    ``arrival`` selects the inter-arrival process (see
+    :func:`_arrival_gaps`); all three draw only from ``rng``, so runs
+    are deterministic per seed. ``deadline_seconds`` stamps each
+    request with an absolute deadline that far in the future, engaging
+    end-to-end deadline propagation.
+    """
     if rate_rps <= 0:
         raise ValueError("rate must be positive")
+    gaps = _arrival_gaps(arrival, rate_rps, rng, pareto_alpha, burstiness)
 
     def run():
-        result = LoadResult(workload=workload, started_at=env.now)
+        result = LoadResult(workload=workload, started_at=env.now,
+                            deadline_seconds=deadline_seconds)
         outstanding = []
-        deadline = env.now + duration
+        horizon = env.now + duration
 
         def one_request():
+            deadline = (env.now + deadline_seconds
+                        if deadline_seconds is not None else None)
             try:
                 outcome = yield gateway.request(
-                    workload, payload=payload, payload_bytes=payload_bytes
+                    workload, payload=payload, payload_bytes=payload_bytes,
+                    deadline=deadline,
                 )
                 result.latencies.append(outcome.latency)
-            except GatewayTimeout:
-                result.failures += 1
+            except GatewayTimeout as error:
+                result.record_failure(error)
 
-        while env.now < deadline:
-            yield env.timeout(exponential(rng, 1.0 / rate_rps))
-            if env.now >= deadline:
+        while env.now < horizon:
+            yield env.timeout(next(gaps))
+            if env.now >= horizon:
                 break
             outstanding.append(env.process(one_request()))
         if outstanding:

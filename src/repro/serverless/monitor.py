@@ -166,7 +166,8 @@ class WatchService:
         for workload in self.gateway.workloads:
             labels = {"workload": workload}
             ok = self.gateway.requests_total.value(labels=labels)
-            failed = self.gateway.failures_total.value(labels=labels)
+            # Failures carry a ``reason`` label; aggregate across it.
+            failed = self.gateway.failures_total.sum_matching(labels=labels)
             last_ok, last_failed = self._last.get(workload, (0.0, 0.0))
             self._last[workload] = (ok, failed)
             failing = failed > last_failed and ok == last_ok

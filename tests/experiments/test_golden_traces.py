@@ -22,6 +22,7 @@ import pytest
 from repro.experiments import ExperimentConfig, fig6_latency, fig7_throughput
 from repro.experiments.fault_recovery import run_storm
 from repro.experiments.migration_storm import run_storm as run_migration_storm
+from repro.experiments.overload_storm import run_storm as run_overload_storm
 from repro.obs import (
     TraceCollection,
     check_invariants,
@@ -116,6 +117,15 @@ def test_migration_storm_golden_trace(update_goldens):
     collection = TraceCollection()
     collection.add("storm", storm["testbed"].tracer)
     _check_golden("migration_storm_trace", _summarise(collection),
+                  update_goldens)
+
+
+def test_overload_storm_golden_trace(update_goldens):
+    storm = run_overload_storm(seed=42, duration=1.0, trace=True)
+    collection = TraceCollection()
+    for phase, run in storm.items():
+        collection.add(phase, run["testbed"].tracer)
+    _check_golden("overload_storm_trace", _summarise(collection),
                   update_goldens)
 
 
