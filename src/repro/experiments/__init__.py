@@ -10,6 +10,7 @@ from . import (
     migration_storm,
     overload_storm,
     perf,
+    scale_sweep,
     table1_nic_types,
     table3_resources,
     table4_startup,
@@ -38,6 +39,7 @@ ALL_EXPERIMENTS = {
     "migration_storm": migration_storm.run,
     "overload_storm": overload_storm.run,
     "perf": perf.run,
+    "scale_sweep": scale_sweep.run,
     "verify": verify_lambdas.run,
 }
 
@@ -68,6 +70,7 @@ __all__ = [
     "perf",
     "run_all",
     "run_scenario",
+    "scale_sweep",
     "table1_nic_types",
     "table3_resources",
     "table4_startup",

@@ -111,6 +111,20 @@ class ExperimentConfig:
     #: End-to-end simulated requests in the perf benchmark's
     #: events-per-second measurement.
     perf_sim_requests: int = 300
+    #: Sharded scale sweep (experiments/scale_sweep.py). The CLI's
+    #: full run targets the ROADMAP's 10⁷-request scale; the
+    #: experiment-table entry and CI use ``scale_differential_requests``
+    #: so the differential check finishes in seconds.
+    scale_requests: int = 10_000_000
+    scale_shards: int = 4
+    #: Total open-loop arrival rate (requests per second of sim time),
+    #: split across shards by request-id ownership.
+    scale_rate_rps: float = 2000.0
+    scale_differential_requests: int = 2000
+    scale_workload: str = "web_server"
+    #: Perf-benchmark methodology (BENCH_sim_perf.json): report the
+    #: median of this many warm runs rather than a single cold sample.
+    bench_runs: int = 3
     #: Run with span tracing enabled; traced experiments attach a
     #: :class:`repro.obs.TraceCollection` to their report.
     trace: bool = False
@@ -128,4 +142,7 @@ FAST_CONFIG = ExperimentConfig(
     contention_concurrency=4,
     perf_requests=120,
     perf_sim_requests=80,
+    scale_requests=4000,
+    scale_differential_requests=800,
+    bench_runs=2,
 )

@@ -16,7 +16,7 @@ from .headers import (
 )
 from .link import Link, LinkStats
 from .network import Network, Node, TEN_GBPS
-from .packet import DEADLINE_META, Packet
+from .packet import DEADLINE_META, Packet, reset_packet_ids
 from .switch import Switch
 from .trace import PacketTracer, TraceRecord
 
@@ -43,4 +43,5 @@ __all__ = [
     "TraceRecord",
     "UDPHeader",
     "header_class",
+    "reset_packet_ids",
 ]

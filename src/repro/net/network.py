@@ -11,7 +11,7 @@ from typing import Callable, Dict, Optional
 
 from ..sim import Environment
 from .link import Link
-from .packet import Packet
+from .packet import Packet, reset_packet_ids
 from .switch import Switch
 
 #: Default link speed in the paper's testbed.
@@ -68,6 +68,10 @@ class Network:
         self.propagation_delay = propagation_delay
         self.drop_probability = drop_probability
         self.rng = rng
+        # Shard isolation: packet numbering restarts per network so a
+        # testbed's packet ids are independent of process history (the
+        # same shard must look identical inline and in a pool worker).
+        reset_packet_ids()
         self.switch = Switch(env, switching_latency=switching_latency)
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[str, Link] = {}

@@ -16,6 +16,22 @@ DEADLINE_META = "deadline"
 _packet_ids = itertools.count(1)
 
 
+def reset_packet_ids() -> None:
+    """Restart packet-id assignment at 1.
+
+    Packet ids were drawn from one process-global counter, which made
+    them depend on how many simulations had already run in the process
+    — harmless while ids stayed debug-only, but a shard-isolation
+    hazard: the same shard would number its packets differently inline
+    vs in a fresh pool worker. :class:`~repro.net.link.Network` calls
+    this on construction, so every testbed numbers its packets from 1
+    regardless of process history. (Sim runs are synchronous within a
+    thread, so sequentially used networks never interleave draws.)
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
 class Packet:
     """A simulated network packet.
 

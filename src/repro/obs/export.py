@@ -112,6 +112,17 @@ class TraceCollection:
                  if isinstance(tracer_or_spans, Tracer) else tracer_or_spans)
         self.runs.append((label, list(spans)))
 
+    def extend(self, other: "TraceCollection") -> None:
+        """Concatenate another collection's runs onto this one.
+
+        The shard aggregation path: each worker ships its own
+        collection home (spans are plain picklable dataclasses) and the
+        parent folds them in shard order, so the combined artifact is
+        reproducible run-to-run.
+        """
+        for label, spans in other.runs:
+            self.runs.append((label, list(spans)))
+
     @property
     def n_spans(self) -> int:
         return sum(len(spans) for _, spans in self.runs)

@@ -76,6 +76,12 @@ class Counter:
     def total(self) -> float:
         return sum(self._values.values())
 
+    def copy(self) -> "Counter":
+        """An independent counter with the same counts."""
+        copied = Counter(self.name, self.help_text)
+        copied._values = dict(self._values)
+        return copied
+
     def merge(self, other: "Counter") -> "Counter":
         """A new counter with both operands' counts (commutative)."""
         merged = Counter(self.name, self.help_text or other.help_text)
@@ -106,6 +112,12 @@ class Gauge:
     def items(self) -> List[Tuple[Dict[str, str], float]]:
         """(labels dict, value) pairs for every labelset seen."""
         return [(dict(key), value) for key, value in self._values.items()]
+
+    def copy(self) -> "Gauge":
+        """An independent gauge with the same values."""
+        copied = Gauge(self.name, self.help_text)
+        copied._values = dict(self._values)
+        return copied
 
     def merge(self, other: "Gauge") -> "Gauge":
         """A new gauge summing both operands (commutative by design)."""
@@ -194,6 +206,11 @@ class Histogram:
         self.name = name
         self.help_text = help_text
         self.clock = clock
+        # Whether observations carry timestamps. Tracked separately from
+        # the clock so a histogram that crossed a process boundary (clock
+        # callables close over live Environments and are dropped by
+        # __getstate__) still *merges* as a timed histogram.
+        self._timed = clock is not None
         self._series: Dict[LabelSet, _Series] = {}
 
     def _get(self, labels: Optional[Dict[str, str]]) -> Optional[_Series]:
@@ -203,7 +220,7 @@ class Histogram:
         key = _labelset(labels)
         series = self._series.get(key)
         if series is None:
-            series = _Series(timed=self.clock is not None)
+            series = _Series(timed=self._timed)
             self._series[key] = series
         return series
 
@@ -211,7 +228,7 @@ class Histogram:
                 labels: Optional[Dict[str, str]] = None) -> None:
         series = self._get_or_create(labels)
         series.values.append(value)
-        if series.times is not None:
+        if series.times is not None and self.clock is not None:
             series.times.append(self.clock())
 
     def raw(self, labels: Optional[Dict[str, str]] = None) -> List[float]:
@@ -287,16 +304,31 @@ class Histogram:
             return math.nan
         return bisect.bisect_right(data, threshold) / len(data)
 
+    def copy(self) -> "Histogram":
+        """An independent histogram with the same observations."""
+        copied = Histogram(self.name, self.help_text, clock=self.clock)
+        copied._timed = self._timed
+        for key, series in self._series.items():
+            target = _Series(timed=series.times is not None)
+            target.values = list(series.values)
+            if series.times is not None:
+                target.times = list(series.times)
+            copied._series[key] = target
+        return copied
+
     def merge(self, other: "Histogram") -> "Histogram":
         """A new histogram with both operands' observations.
 
         Commutative up to observation order: counts, percentiles, and
         ECDFs of ``a.merge(b)`` and ``b.merge(a)`` are identical.
-        Timestamps are preserved only when both operands carry them.
+        Timestamps are preserved only when both operands carry them
+        (``_timed`` — which survives pickling even though the clock
+        callable itself does not).
         """
-        timed = self.clock is not None and other.clock is not None
+        timed = self._timed and other._timed
         merged = Histogram(self.name, self.help_text or other.help_text,
                            clock=self.clock if timed else None)
+        merged._timed = timed
         for source in (self, other):
             for key, series in source._series.items():
                 target = merged._series.get(key)
@@ -311,6 +343,18 @@ class Histogram:
                     else:
                         target.times = None
         return merged
+
+    def __getstate__(self):
+        # Clock callables close over live simulation state (typically
+        # ``lambda: env.now``) and cannot cross a process boundary; the
+        # observations and the ``_timed`` flag are what shard workers
+        # need to ship home.
+        state = dict(self.__dict__)
+        state["clock"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
 
 class MetricsRegistry:
@@ -361,9 +405,77 @@ class MetricsRegistry:
         self._metrics[name] = metric
         return metric
 
+    def register(self, metric) -> None:
+        """Adopt an existing metric object (shard-report assembly).
+
+        The factory methods remain the normal path; this exists so
+        aggregation code can rebuild a registry from copied metrics —
+        e.g. stripping bulky histograms before shipping a shard's
+        counters across a process boundary.
+        """
+        existing = self._metrics.get(metric.name)
+        if existing is not None and existing is not metric:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
     def scrape(self) -> Dict[str, object]:
         """A snapshot view used by the monitoring engine / tests."""
         return dict(self._metrics)
+
+    def copy(self) -> "MetricsRegistry":
+        """An independent registry with copies of every metric."""
+        copied = MetricsRegistry(clock=self._clock)
+        for name, metric in self._metrics.items():
+            copied._metrics[name] = metric.copy()
+        return copied
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """A new registry merging both operands metric-by-metric.
+
+        Metrics present in both registries must share a type (their
+        own ``merge`` combines them — commutative for counters, gauges,
+        and histograms alike); one-sided metrics are copied. Iteration
+        is name-sorted so the merged registry's internal order — and
+        therefore any serialized report built from it — is independent
+        of insertion order on either side.
+        """
+        merged = MetricsRegistry(clock=self._clock or other._clock)
+        for name in sorted(set(self._metrics) | set(other._metrics)):
+            mine = self._metrics.get(name)
+            theirs = other._metrics.get(name)
+            if mine is not None and theirs is not None:
+                if type(mine) is not type(theirs):
+                    raise TypeError(
+                        f"metric {name!r} is {type(mine).__name__} on one "
+                        f"side, {type(theirs).__name__} on the other"
+                    )
+                merged._metrics[name] = mine.merge(theirs)
+            else:
+                present = mine if mine is not None else theirs
+                merged._metrics[name] = present.copy()
+        return merged
+
+    @classmethod
+    def merge_all(cls, registries) -> "MetricsRegistry":
+        """Fold any iterable of registries into one (the shard path).
+
+        ``merge_all([])`` is an empty registry; a single registry is
+        copied, never aliased, so callers can mutate the result freely.
+        """
+        merged = cls()
+        for registry in registries:
+            merged = merged.merge(registry)
+        return merged
+
+    def __getstate__(self):
+        # The registry-level clock is a live-sim closure too (see
+        # Histogram.__getstate__); metrics pickle themselves.
+        state = dict(self.__dict__)
+        state["_clock"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)

@@ -8,8 +8,9 @@ and throughput.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from ..sim import Environment, exponential
 from .gateway import (
@@ -227,6 +228,138 @@ def open_loop(
             if env.now >= horizon:
                 break
             outstanding.append(env.process(one_request()))
+        if outstanding:
+            yield env.all_of(outstanding)
+        result.finished_at = env.now
+        return result
+
+    return env.process(run())
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One planned open-loop request: an id and an absolute send time.
+
+    The id doubles as the shard-ownership key (see
+    :mod:`repro.sim.shard`): ids are assigned in arrival order from 0,
+    so ``request_id % n_shards`` deals consecutive arrivals round-robin
+    across shards and every shard sees a thinned copy of the same
+    process.
+    """
+
+    request_id: int
+    at: float
+
+
+def iter_arrivals(
+    rate_rps: float,
+    duration: float,
+    rng: random.Random,
+    arrival: str = "poisson",
+    pareto_alpha: float = 1.5,
+    burstiness: float = 4.0,
+    start: float = 0.0,
+) -> Iterator[Arrival]:
+    """Generate the deterministic arrival stream one record at a time.
+
+    A pure function of its arguments: the same seed always yields the
+    same ``(request_id, at)`` sequence, which is what lets shard
+    workers in different processes regenerate the *full* stream
+    locally and keep only their own slice — no multi-gigabyte arrival
+    list ever crosses a process boundary. The gap sequence is exactly
+    :func:`open_loop`'s for the same ``rng`` state.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    gaps = _arrival_gaps(arrival, rate_rps, rng, pareto_alpha, burstiness)
+    horizon = start + duration
+    now = start
+    request_id = 0
+    while True:
+        now += next(gaps)
+        if now >= horizon:
+            return
+        yield Arrival(request_id=request_id, at=now)
+        request_id += 1
+
+
+def plan_arrivals(
+    rate_rps: float,
+    duration: float,
+    rng: random.Random,
+    arrival: str = "poisson",
+    pareto_alpha: float = 1.5,
+    burstiness: float = 4.0,
+    start: float = 0.0,
+) -> List[Arrival]:
+    """The fully materialised arrival plan (small experiments/tests)."""
+    return list(iter_arrivals(rate_rps, duration, rng, arrival=arrival,
+                              pareto_alpha=pareto_alpha,
+                              burstiness=burstiness, start=start))
+
+
+def scheduled_open_loop(
+    env: Environment,
+    gateway: Gateway,
+    workload: str,
+    arrivals: Iterable[Arrival],
+    payload: Any = None,
+    payload_bytes: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+):
+    """Process: replay a planned (sub-)stream of arrivals.
+
+    The sharded analogue of :func:`open_loop`: instead of drawing
+    inter-arrival gaps live, it walks a pre-planned stream (or any
+    deterministic slice of one) and fires each request at time
+    ``epoch + record.at``, where the epoch is the simulated instant
+    the replay starts (deployment etc. consumes sim time first, and
+    may consume *different* amounts on differently sized testbeds).
+    A monolithic run replays the whole plan; shard ``i`` replays only
+    the arrivals it owns — at the same epoch-relative instants, which
+    is what makes merged shard results comparable to the
+    single-testbed run.
+
+    Arrival times must be non-decreasing.
+    """
+
+    def run():
+        epoch = env.now
+        result = LoadResult(workload=workload, started_at=env.now,
+                            deadline_seconds=deadline_seconds)
+        outstanding = []
+
+        def one_request():
+            deadline = (env.now + deadline_seconds
+                        if deadline_seconds is not None else None)
+            try:
+                outcome = yield gateway.request(
+                    workload, payload=payload, payload_bytes=payload_bytes,
+                    deadline=deadline,
+                )
+                result.latencies.append(outcome.latency)
+            except GatewayTimeout as error:
+                result.record_failure(error)
+
+        for record in arrivals:
+            due = epoch + record.at
+            if due < env.now:
+                raise ValueError(
+                    f"arrival {record.request_id} at {record.at} is "
+                    f"out of order (now {env.now - epoch} past the "
+                    f"epoch); plans must be non-decreasing in time"
+                )
+            if due > env.now:
+                yield env.timeout(due - env.now)
+            outstanding.append(env.process(one_request()))
+            # Cap the completion-wait bookkeeping: instead of holding
+            # every request process until the end (10^7 entries for a
+            # scale run), reap the finished prefix as we go.
+            if len(outstanding) >= 512:
+                outstanding[:] = [proc for proc in outstanding
+                                  if proc.is_alive]
         if outstanding:
             yield env.all_of(outstanding)
         result.finished_at = env.now

@@ -32,7 +32,7 @@ def test_registry_covers_every_table_and_figure():
     assert set(ALL_EXPERIMENTS) == {
         "table1", "fig6", "fig7", "fig8", "table2", "table3", "table4",
         "fig9", "reorder", "fault_recovery", "migration_storm",
-        "overload_storm", "perf", "verify",
+        "overload_storm", "perf", "verify", "scale_sweep",
     }
 
 

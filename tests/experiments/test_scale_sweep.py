@@ -1,0 +1,134 @@
+"""The sharded-vs-monolithic proof harness (experiments/scale_sweep).
+
+The headline deliverable of the sharded kernel: a sweep partitioned
+over N testbed shards must be *provably* equivalent to the monolithic
+single-testbed run on the same seed — identical request-conserving
+counter totals, percentile bounds within tolerance, and a merged
+report that is byte-stable across reruns and across inline vs pooled
+execution.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import scale_sweep
+from repro.experiments.calibration import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    scale_differential_requests=800,
+    scale_rate_rps=2000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def diff():
+    return scale_sweep.differential(CONFIG, n_shards=4, inline=True)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return scale_sweep.run_sweep(CONFIG, n_shards=4,
+                                 total_requests=800, inline=True)
+
+
+@pytest.fixture(scope="module")
+def mono():
+    return scale_sweep.run_monolithic(CONFIG, total_requests=800,
+                                      n_workers=4)
+
+
+def test_differential_counters_match_exactly(diff):
+    assert diff["counters_match"], diff["counters"]
+    for name, (sharded, monolithic) in diff["counters"].items():
+        assert sharded == monolithic, name
+    # The run actually served traffic.
+    assert diff["counters"]["gateway_requests_total"][0] > 0
+
+
+def test_differential_completed_and_failures_match(diff):
+    assert diff["completed_match"]
+
+
+def test_differential_percentiles_within_tolerance(diff):
+    assert diff["percentiles_match"], (
+        diff["sharded_p99"], diff["mono_p99"])
+    assert diff["match"]
+
+
+def test_sharded_goodput_matches_monolithic(sweep, mono):
+    # Light load: every request completes on both sides, so goodput
+    # (completions within deadline; no deadline here => completions)
+    # must agree exactly.
+    assert sweep["deterministic"]["totals"]["completed"] == \
+        mono["completed"]
+    assert sweep["deterministic"]["totals"]["failures"] == \
+        mono["failures"] == 0
+
+
+def test_shards_cover_the_request_stream(sweep):
+    shards = sweep["deterministic"]["shards"]
+    assert len(shards) == 4
+    assert all(row["completed"] > 0 for row in shards)
+    assert sum(row["completed"] for row in shards) == \
+        sweep["deterministic"]["totals"]["completed"]
+
+
+def test_merged_registry_equals_sum_of_shard_registries(sweep):
+    merged = sweep["registry"]
+    total = sum(result["registry"].counter("gateway_requests_total").total
+                for result in sweep["shard_results"])
+    assert merged.counter("gateway_requests_total").total == total
+
+
+def test_report_is_byte_stable_across_reruns(sweep):
+    again = scale_sweep.run_sweep(CONFIG, n_shards=4,
+                                  total_requests=800, inline=True)
+    assert scale_sweep.canonical_report_bytes(sweep) == \
+        scale_sweep.canonical_report_bytes(again)
+
+
+def test_report_is_byte_stable_inline_vs_pooled(sweep):
+    pooled = scale_sweep.run_sweep(CONFIG, n_shards=4,
+                                   total_requests=800, inline=False)
+    assert scale_sweep.canonical_report_bytes(sweep) == \
+        scale_sweep.canonical_report_bytes(pooled)
+
+
+def test_canonical_report_excludes_wall_clock(sweep):
+    payload = json.loads(scale_sweep.canonical_report_bytes(sweep))
+    assert "timing" not in payload
+    flat = json.dumps(payload)
+    assert "wall" not in flat and "elapsed" not in flat
+    assert payload["schema"] == "scale_sweep/v1"
+    assert payload["config"]["n_shards"] == 4
+
+
+def test_write_report_round_trips(tmp_path, sweep):
+    path = tmp_path / "report.json"
+    scale_sweep.write_report(sweep, str(path))
+    payload = json.loads(path.read_text())
+    assert payload["deterministic"] == sweep["deterministic"]
+    assert "timing" in payload
+
+
+def test_experiment_table_entry_runs(diff):
+    report = scale_sweep.run(ExperimentConfig(
+        scale_differential_requests=400))
+    text = report.format()
+    assert "differential verdict" in text
+    assert "True" in text
+
+
+def test_scale_profile_strips_histograms():
+    # Past the auto-flip threshold the shipped registries must not
+    # carry raw observations (10^7 of them would dominate the pickle).
+    sweep = scale_sweep.run_sweep(
+        CONFIG, n_shards=2, total_requests=400, inline=True,
+        ship_histograms=False)
+    for result in sweep["shard_results"]:
+        names = result["registry"].names()
+        assert "gateway_request_seconds" not in names
+        assert "gateway_requests_total" in names
+    # Percentiles still reported from the workers' local computation.
+    assert sweep["deterministic"]["latency"]["p99_max"] > 0

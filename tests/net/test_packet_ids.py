@@ -1,0 +1,66 @@
+"""Regression: packet ids must not leak process history across testbeds.
+
+Packet ids used to come from one process-global ``itertools.count``,
+so a testbed's packets were numbered differently depending on how many
+simulations had already run in the process — the exact class of latent
+shared state that breaks shard isolation (a shard executed inline
+after three siblings would number packets differently than the same
+shard in a fresh pool worker). ``Network.__init__`` now restarts the
+counter; these tests pin that.
+"""
+
+from repro.net import Network, Packet, reset_packet_ids
+from repro.sim import Environment
+
+
+def test_network_construction_restarts_packet_numbering():
+    net_a = Network(Environment())
+    first = Packet(src="a", dst="b")
+    second = Packet(src="a", dst="b")
+    assert (first.packet_id, second.packet_id) == (1, 2)
+
+    # A later, independent testbed must see the same numbering as a
+    # fresh process would — not a continuation of net_a's.
+    net_b = Network(Environment())
+    again = Packet(src="a", dst="b")
+    assert again.packet_id == 1
+
+
+def test_reset_packet_ids_is_idempotent():
+    reset_packet_ids()
+    assert Packet(src="a", dst="b").packet_id == 1
+    reset_packet_ids()
+    assert Packet(src="a", dst="b").packet_id == 1
+
+
+def test_identical_testbeds_emit_identical_packet_ids():
+    from repro.serverless import Testbed, closed_loop
+    from repro.workloads import standard_workloads
+
+    def packet_ids_of_run():
+        spec = standard_workloads()["web_server"]
+        tb = Testbed(seed=3, n_workers=1)
+        tb.add_backend("lambda-nic")
+        seen = []
+        original = tb.network.send_from
+
+        def spy(src, packet):
+            seen.append(packet.packet_id)
+            return original(src, packet)
+
+        tb.network.send_from = spy
+
+        def scenario(env):
+            yield tb.manager.deploy(spec, "lambda-nic")
+            result = yield closed_loop(env, tb.gateway, spec.name,
+                                       n_requests=5, concurrency=1)
+            return result
+
+        process = tb.env.process(scenario(tb.env))
+        tb.run(until=process)
+        return seen
+
+    first = packet_ids_of_run()
+    second = packet_ids_of_run()
+    assert first, "run produced no packets"
+    assert first == second

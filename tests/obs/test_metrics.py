@@ -267,3 +267,111 @@ def test_registry_names_and_scrape():
     snapshot = registry.scrape()
     assert set(snapshot) == {"a_depth", "b_total"}
     assert isinstance(snapshot["b_total"], Counter)
+
+
+# -- registry merge and the process-boundary (pickle) path -------------------
+
+
+def _two_registries():
+    clock = {"now": 0.0}
+    a = MetricsRegistry(clock=lambda: clock["now"])
+    a.counter("requests_total").inc(3, labels={"w": "echo"})
+    a.counter("requests_total").inc(2, labels={"w": "kv"})
+    a.histogram("latency").observe(1.0)
+    clock["now"] = 5.0
+    a.histogram("latency").observe(9.0)
+    a.gauge("depth").set(4)
+
+    b = MetricsRegistry(clock=lambda: clock["now"])
+    b.counter("requests_total").inc(7, labels={"w": "echo"})
+    b.histogram("latency").observe(3.0)
+    b.counter("only_b_total").inc(11)
+    return a, b
+
+
+def test_registry_merge_is_commutative_and_covers_one_sided_metrics():
+    a, b = _two_registries()
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.names() == ba.names() == \
+        ["depth", "latency", "only_b_total", "requests_total"]
+    assert ab.counter("requests_total").total == 12
+    assert ab.counter("requests_total").value({"w": "echo"}) == 10
+    assert ab.counter("only_b_total").total == 11
+    assert ab.gauge("depth").value() == 4
+    assert sorted(ab.histogram("latency").observations()) == \
+        sorted(ba.histogram("latency").observations()) == [1.0, 3.0, 9.0]
+
+
+def test_registry_merge_does_not_alias_operands():
+    a, b = _two_registries()
+    merged = a.merge(b)
+    merged.counter("only_b_total").inc(100)
+    merged.histogram("latency").observe(77.0)
+    assert b.counter("only_b_total").total == 11
+    assert 77.0 not in a.histogram("latency").observations()
+
+
+def test_registry_merge_rejects_type_conflicts():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("x")
+    b.gauge("x")
+    with pytest.raises(TypeError):
+        a.merge(b)
+
+
+def test_registry_merge_all_folds_and_copies():
+    a, b = _two_registries()
+    merged = MetricsRegistry.merge_all([a, b])
+    assert merged.counter("requests_total").total == 12
+    empty = MetricsRegistry.merge_all([])
+    assert empty.names() == []
+    single = MetricsRegistry.merge_all([a])
+    single.counter("requests_total").inc(100)
+    assert a.counter("requests_total").total == 5
+
+
+def test_pickle_round_trip_merge_equals_in_process_merge():
+    import pickle
+
+    a, b = _two_registries()
+    in_process = a.merge(b)
+    shipped = pickle.loads(pickle.dumps(a)).merge(
+        pickle.loads(pickle.dumps(b)))
+    assert shipped.names() == in_process.names()
+    for name in in_process.names():
+        mine, theirs = in_process.scrape()[name], shipped.scrape()[name]
+        assert type(mine) is type(theirs)
+        if isinstance(mine, Histogram):
+            assert sorted(mine.observations()) == \
+                sorted(theirs.observations())
+        elif isinstance(mine, Counter):
+            assert sorted(map(repr, mine.items())) == \
+                sorted(map(repr, theirs.items()))
+
+
+def test_pickled_histogram_drops_clock_but_keeps_timestamps():
+    import pickle
+
+    a, _ = _two_registries()
+    thawed = pickle.loads(pickle.dumps(a))
+    hist = thawed.histogram("latency")
+    assert hist.clock is None
+    # Timestamps recorded before pickling still answer window queries.
+    assert hist.count(since=4.0) == 1
+    # And merging two thawed registries preserves timed-ness.
+    b_thawed = pickle.loads(pickle.dumps(_two_registries()[1]))
+    merged = thawed.merge(b_thawed)
+    assert merged.histogram("latency").count(since=4.0) == \
+        a.merge(_two_registries()[1]).histogram("latency").count(since=4.0)
+
+
+def test_registry_register_adopts_and_rejects_collisions():
+    registry = MetricsRegistry()
+    counter = Counter("adopted_total")
+    counter.inc(3)
+    registry.register(counter)
+    assert registry.counter("adopted_total").total == 3
+    registry.register(counter)  # idempotent for the same object
+    with pytest.raises(ValueError):
+        registry.register(Counter("adopted_total"))

@@ -1,0 +1,146 @@
+"""Property-based tests for shard-split determinism.
+
+Three layers, cheapest first: pure partition algebra (any request
+stream splits into a disjoint cover, any shard count), metric algebra
+(splitting a fuzzed counter/histogram stream across shard registries
+and merging recovers the unsharded registry exactly — including
+through the pickle path pool workers use), and the full-stack
+invariant (a real sharded sweep's merged request-conserving counter
+totals are independent of the partition width on a fixed seed).
+"""
+
+import pickle
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import scale_sweep
+from repro.experiments.calibration import ExperimentConfig
+from repro.obs import MetricsRegistry
+from repro.serverless import iter_arrivals, plan_arrivals
+from repro.sim import make_shard_specs, owner_of, split_arrivals
+
+
+class Record:
+    def __init__(self, request_id):
+        self.request_id = request_id
+
+
+# -- partition algebra -------------------------------------------------------
+
+
+@given(request_ids=st.lists(st.integers(min_value=0, max_value=10**6),
+                            max_size=300),
+       n_shards=st.integers(min_value=1, max_value=9))
+def test_split_is_a_disjoint_cover(request_ids, n_shards):
+    stream = [Record(rid) for rid in request_ids]
+    shards = split_arrivals(stream, n_shards)
+    assert len(shards) == n_shards
+    assert sum(len(shard) for shard in shards) == len(stream)
+    for index, shard in enumerate(shards):
+        for record in shard:
+            assert owner_of(record.request_id, n_shards) == index
+
+
+@given(rid=st.integers(min_value=0, max_value=10**9),
+       n_shards=st.integers(min_value=1, max_value=64))
+def test_ownership_is_total_and_deterministic(rid, n_shards):
+    owner = owner_of(rid, n_shards)
+    assert 0 <= owner < n_shards
+    assert owner == owner_of(rid, n_shards)
+    specs = make_shard_specs(n_shards, seed=0)
+    assert sum(spec.owns(rid) for spec in specs) == 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       rate=st.floats(min_value=10.0, max_value=500.0),
+       duration=st.floats(min_value=0.1, max_value=3.0))
+@settings(max_examples=25, deadline=None)
+def test_arrival_plans_are_deterministic_in_the_seed(seed, rate, duration):
+    first = plan_arrivals(rate, duration, random.Random(seed))
+    second = list(iter_arrivals(rate, duration, random.Random(seed)))
+    assert first == second
+    assert [a.request_id for a in first] == list(range(len(first)))
+    times = [a.at for a in first]
+    assert times == sorted(times)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       n_shards=st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_any_partition_width_covers_the_same_plan(seed, n_shards):
+    plan = plan_arrivals(300.0, 1.0, random.Random(seed))
+    shards = split_arrivals(plan, n_shards)
+    recovered = sorted((a for shard in shards for a in shard),
+                       key=lambda a: a.request_id)
+    assert recovered == plan
+
+
+# -- metric algebra under sharding -------------------------------------------
+
+
+@given(events=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**4),   # request id
+              st.sampled_from(["served", "failed", "shed"]),
+              st.floats(min_value=1e-6, max_value=10.0)),  # latency
+    max_size=200),
+    n_shards=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_sharded_registries_merge_to_the_unsharded_registry(events,
+                                                            n_shards):
+    whole = MetricsRegistry()
+    parts = [MetricsRegistry() for _ in range(n_shards)]
+    for rid, outcome, latency in events:
+        for registry in (whole, parts[owner_of(rid, n_shards)]):
+            registry.counter("events_total").inc(
+                labels={"outcome": outcome})
+            registry.histogram("latency").observe(latency)
+    merged = MetricsRegistry.merge_all(parts)
+    assert merged.counter("events_total").total == \
+        whole.counter("events_total").total
+    for outcome in ("served", "failed", "shed"):
+        assert merged.counter("events_total").value(
+            {"outcome": outcome}) == \
+            whole.counter("events_total").value({"outcome": outcome})
+    assert sorted(merged.histogram("latency").observations()) == \
+        sorted(whole.histogram("latency").observations())
+
+
+@given(events=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=100),
+              st.floats(min_value=0.0, max_value=5.0)),
+    max_size=100),
+    n_shards=st.integers(min_value=2, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_pickle_round_trip_merge_is_lossless(events, n_shards):
+    parts = [MetricsRegistry() for _ in range(n_shards)]
+    for rid, value in events:
+        registry = parts[owner_of(rid, n_shards)]
+        registry.counter("total").inc()
+        registry.histogram("h").observe(value)
+    direct = MetricsRegistry.merge_all(parts)
+    shipped = MetricsRegistry.merge_all(
+        pickle.loads(pickle.dumps(registry)) for registry in parts)
+    assert shipped.counter("total").total == direct.counter("total").total
+    assert sorted(shipped.histogram("h").observations()) == \
+        sorted(direct.histogram("h").observations())
+
+
+# -- full stack: partition width cannot change merged totals -----------------
+
+
+@given(n_shards=st.sampled_from([1, 2, 4]))
+@settings(max_examples=3, deadline=None)
+def test_merged_counter_totals_independent_of_partition(n_shards):
+    config = ExperimentConfig(scale_rate_rps=2000.0)
+    sweep = scale_sweep.run_sweep(config, n_shards=n_shards,
+                                  total_requests=240, inline=True,
+                                  ship_histograms=True)
+    merged = sweep["registry"]
+    # Reference: the monolithic (1-shard, same worker count) totals.
+    mono = scale_sweep.run_monolithic(config, total_requests=240,
+                                      n_workers=n_shards)
+    for name in scale_sweep.REQUEST_CONSERVED_COUNTERS:
+        assert merged.counter(name).total == \
+            mono["registry"].counter(name).total, name

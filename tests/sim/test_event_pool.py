@@ -1,0 +1,159 @@
+"""Unit suite for the kernel's event-object pool (recycled Timeouts).
+
+The pool is a pure wall-clock optimisation: a processed Timeout whose
+refcount proves no one else holds it goes back to a free list and is
+handed out by the next ``env.timeout()`` call. These tests pin the
+safety properties that make that invisible — a recycled event carries
+no stale callbacks, value, failure state, or cancellation flag; the
+pool never grows past its bound; and simulation results are identical
+with the pool on, off, or exhausted.
+"""
+
+import pytest
+
+from repro.sim import Environment, EventPool, SimulationError, Timeout
+
+
+def drain(env):
+    env.run()
+
+
+def test_processed_timeouts_are_recycled():
+    env = Environment()
+
+    def proc(env):
+        for _ in range(50):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    drain(env)
+    pool = env.pool
+    assert pool is not None
+    # The generator releases each timeout when it yields the next one;
+    # only the very last can still be referenced at teardown.
+    assert pool.recycled >= 49
+    assert pool.reused >= 48
+    assert len(pool) >= 1
+
+
+def test_reused_event_carries_no_stale_state():
+    env = Environment()
+    seen = []
+
+    timeout = env.timeout(1.0, value="first")
+    timeout.callbacks.append(lambda ev: seen.append(ev._value))
+    # Drop our reference so the refcount probe can prove the event is
+    # unreachable after processing — the precondition for recycling.
+    del timeout
+    drain(env)
+    assert seen == ["first"]
+    assert len(env.pool) >= 1
+
+    # The recycled object must come back pristine: fresh callbacks
+    # list, the *new* value, not-ok/failed flags cleared.
+    reused = env.timeout(2.0, value="second")
+    assert isinstance(reused, Timeout)
+    assert reused.callbacks == []
+    assert reused._value == "second"
+    assert reused._ok is True
+    assert reused.defused is False
+    assert not reused.cancelled
+    reused.callbacks.append(lambda ev: seen.append(ev._value))
+    drain(env)
+    assert seen == ["first", "second"]
+
+
+def test_pool_is_bounded():
+    env = Environment(pool_size=8)
+    # Schedule a burst with no external references: once the free list
+    # holds 8 scrubbed events, the rest must be discarded, not hoarded.
+    for index in range(100):
+        env.timeout(float(index))
+    drain(env)
+    pool = env.pool
+    assert len(pool) <= 8
+    assert pool.discarded > 0
+    assert pool.recycled + pool.discarded == 100
+
+
+def test_cancelled_timeout_returns_to_pool_without_firing():
+    env = Environment()
+    fired = []
+
+    timeout = env.timeout(5.0, value="never")
+    timeout.callbacks.append(lambda ev: fired.append(ev))
+    timeout.cancel()
+    assert timeout.cancelled
+    del timeout  # the kernel's refcount probe needs sole ownership
+    drain(env)
+    assert fired == []
+    # The cancelled event was scrubbed and pooled, not processed.
+    assert len(env.pool) >= 1
+    reused = env.timeout(1.0, value="again")
+    assert reused.callbacks == []
+    assert not reused.cancelled
+
+
+def test_cancel_after_processing_raises():
+    env = Environment(event_pool=False)
+    timeout = env.timeout(1.0)
+    drain(env)
+    with pytest.raises(SimulationError):
+        timeout.cancel()
+
+
+def test_externally_held_timeout_is_never_recycled():
+    env = Environment()
+    held = env.timeout(1.0, value="mine")
+    drain(env)
+    # We still hold a reference, so the kernel must not recycle it...
+    assert held._value == "mine"
+    fresh = env.timeout(1.0, value="other")
+    # ...and the next timeout is a different object.
+    assert fresh is not held
+    assert held._value == "mine"
+
+
+def test_pool_can_be_disabled():
+    env = Environment(event_pool=False)
+    assert env.pool is None
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    drain(env)
+    assert env.now == 10.0
+
+
+def test_results_identical_with_and_without_pool():
+    def workload(env):
+        log = []
+
+        def pinger(env, name, period):
+            while env.now < 30.0:
+                yield env.timeout(period)
+                log.append((env.now, name))
+
+        env.process(pinger(env, "a", 1.0))
+        env.process(pinger(env, "b", 1.5))
+        env.run(until=30.0)
+        return log
+
+    pooled = workload(Environment())
+    unpooled = workload(Environment(event_pool=False))
+    tiny = workload(Environment(pool_size=1))
+    assert pooled == unpooled == tiny
+
+
+def test_event_pool_standalone_release_scrubs():
+    pool = EventPool(max_size=2)
+    env = Environment(event_pool=False)
+    timeout = Timeout(env, 1.0, value="x")
+    timeout.callbacks.append(lambda ev: None)
+    pool._release(timeout)
+    assert len(pool) == 1
+    assert timeout.callbacks is None
+    assert timeout._ok is True
+    assert timeout.defused is False

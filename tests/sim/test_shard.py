@@ -1,0 +1,122 @@
+"""Unit suite for the shard partitioning machinery (repro.sim.shard).
+
+Covers the deterministic seed derivation, the request-id ownership
+map, arrival-stream splitting as a true partition, and ``run_shards``
+returning identical results inline and across a process pool — the
+process-location-independence property the differential harness
+builds on.
+"""
+
+import pytest
+
+from repro.sim import (
+    ShardSpec,
+    default_processes,
+    make_shard_specs,
+    owner_of,
+    run_shards,
+    shard_seed,
+    split_arrivals,
+)
+
+
+class Record:
+    def __init__(self, request_id):
+        self.request_id = request_id
+
+    def __eq__(self, other):
+        return self.request_id == other.request_id
+
+    def __repr__(self):
+        return f"Record({self.request_id})"
+
+
+def test_shard_seed_is_stable_and_distinct():
+    assert shard_seed(42, 0) == shard_seed(42, 0)
+    seeds = {shard_seed(42, index) for index in range(32)}
+    assert len(seeds) == 32
+    assert shard_seed(42, 0) != shard_seed(43, 0)
+
+
+def test_make_shard_specs_derives_per_shard_seeds():
+    specs = make_shard_specs(4, seed=7, params={"rate": 100.0})
+    assert [spec.index for spec in specs] == [0, 1, 2, 3]
+    assert all(spec.n_shards == 4 for spec in specs)
+    assert [spec.seed for spec in specs] == \
+        [shard_seed(7, index) for index in range(4)]
+    # params are copied per spec, not shared.
+    specs[0].params["rate"] = 999.0
+    assert specs[1].params["rate"] == 100.0
+
+
+def test_shard_spec_validates_index():
+    with pytest.raises(ValueError):
+        ShardSpec(index=4, n_shards=4, seed=1)
+    with pytest.raises(ValueError):
+        ShardSpec(index=-1, n_shards=4, seed=1)
+    with pytest.raises(ValueError):
+        ShardSpec(index=0, n_shards=0, seed=1)
+
+
+def test_owner_of_is_total_and_matches_owns():
+    for n_shards in (1, 2, 3, 4, 7):
+        specs = make_shard_specs(n_shards, seed=0)
+        for request_id in range(50):
+            owner = owner_of(request_id, n_shards)
+            assert 0 <= owner < n_shards
+            owners = [spec.owns(request_id) for spec in specs]
+            assert owners.count(True) == 1
+            assert owners.index(True) == owner
+
+
+def test_split_arrivals_is_a_partition_in_stream_order():
+    stream = [Record(request_id) for request_id in
+              [0, 5, 3, 8, 1, 2, 9, 4, 7, 6]]
+    shards = split_arrivals(stream, 3)
+    assert sum(len(shard) for shard in shards) == len(stream)
+    seen = [record for shard in shards for record in shard]
+    assert sorted(r.request_id for r in seen) == list(range(10))
+    for index, shard in enumerate(shards):
+        assert all(r.request_id % 3 == index for r in shard)
+        # Stream order is preserved inside each shard.
+        positions = [stream.index(record) for record in shard]
+        assert positions == sorted(positions)
+
+
+def test_split_arrivals_custom_key():
+    stream = [{"rid": i} for i in range(9)]
+    shards = split_arrivals(stream, 3, key=lambda record: record["rid"])
+    assert [len(shard) for shard in shards] == [3, 3, 3]
+
+
+def test_run_shards_requires_complete_ordered_specs():
+    specs = make_shard_specs(3, seed=1)
+    with pytest.raises(ValueError):
+        run_shards(_square_worker, specs[::-1], inline=True)
+    with pytest.raises(ValueError):
+        run_shards(_square_worker, specs[:2], inline=True)
+
+
+def _square_worker(spec):
+    # Module-level so it pickles into pool workers.
+    return {"shard": spec.index, "seed": spec.seed,
+            "value": spec.seed % 1000, "params": dict(spec.params)}
+
+
+def test_run_shards_inline_equals_pooled():
+    specs = make_shard_specs(4, seed=11, params={"tag": "x"})
+    inline = run_shards(_square_worker, specs, inline=True)
+    pooled = run_shards(_square_worker, specs, inline=False)
+    assert inline == pooled
+    assert [result["shard"] for result in pooled] == [0, 1, 2, 3]
+
+
+def test_run_shards_single_spec_runs_inline():
+    specs = make_shard_specs(1, seed=5)
+    assert run_shards(_square_worker, specs) == \
+        [_square_worker(specs[0])]
+
+
+def test_default_processes_bounds():
+    assert default_processes(1) == 1
+    assert 1 <= default_processes(64) <= 64
