@@ -1,0 +1,19 @@
+# Hash-masked bucket counter: hashes the request id into one of 32
+# 8-byte buckets. `hash & 248` keeps the offset inside the 256 B table,
+# which the verifier's interval analysis proves — the load and store
+# below are reported as info-grade proven-offset findings instead of
+# unknown-offset warnings. Lint it with:
+#
+#     python -m repro.isa.verify examples/lambdas/hash_bucket.asm
+.lambda hash_bucket entry=hash_bucket
+.object buckets size=256 access=read_write
+
+.func hash_bucket
+    hload r1, LambdaHeader.request_id
+    hash r2, r1
+    and r2, r2, 248
+    resolve r14, [buckets+r2]
+    load r3, r14, [buckets+r2]
+    add r3, r3, 1
+    store r14, [buckets+r2], r3
+    ret r3

@@ -1,0 +1,28 @@
+# Walks the segments of a multi-packet RPC, accumulating a per-segment
+# cost. The loop limit is read from the packet itself: the declared
+# wire range of LambdaHeader.total_segments ([1, 65535]) lets the
+# interval analysis bound the loop, where constant propagation alone
+# would reject the program as unbounded. The branchy body also
+# exercises the path-sensitive WCET collapse (one path per iteration,
+# not the sum of both branch sides). Lint it with:
+#
+#     python -m repro.isa.verify examples/lambdas/seg_walker.asm
+.lambda seg_walker entry=seg_walker
+
+.func seg_walker
+    hload r1, LambdaHeader.total_segments
+    mov r2, 0            # segment index
+    mov r3, 0            # accumulated cost
+label loop
+    bge r2, r1, done
+    and r4, r2, 1
+    beq r4, 0, even
+    add r3, r3, 3        # odd segments pay the reorder surcharge
+    jmp next
+label even
+    add r3, r3, 1
+label next
+    add r2, r2, 1
+    jmp loop
+label done
+    ret r3

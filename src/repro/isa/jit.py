@@ -71,6 +71,7 @@ from .interpreter import (
 from .program import Function, LambdaProgram
 from .verify import NAC, build_cfg, constant_states
 from .verify.cfg import BRANCH_OPS, MACHINE_TERMINATOR_OPS
+from .verify.intervals import interval_states
 
 
 class JitLoweringError(Exception):
@@ -308,6 +309,13 @@ class _FunctionLowering:
         self.function = function
         self.cfg = build_cfg(function)
         self.consts = constant_states(function, cfg=self.cfg)
+        # Machine-guaranteed value ranges only (trust_declared=False):
+        # the simulator lets callers place out-of-wire-range values in
+        # headers, so elision decisions must not lean on declared
+        # packet-format ranges.
+        self.ranges = interval_states(function, cfg=self.cfg,
+                                      program=compiler.program,
+                                      trust_declared=False)
         self.labels = function.labels()
         self.used = _used_registers(function)
         self.out = compiler.out
@@ -474,17 +482,70 @@ class _FunctionLowering:
         r = self.const(region)
         return [f"_ra[{r}] = _ra.get({r}, 0) + 1"]
 
+    def memcpy_const_bursts(self, index: int, args) -> Optional[int]:
+        """DMA burst count when the copy length is a proven constant.
+
+        Mirrors the interpreter's ``max(1, ceil(n / BULK_BURST_BYTES))``
+        exactly; :meth:`static_cycles` and :meth:`lower_memcpy` must
+        agree on this value so the folded region charges replace the
+        runtime ones one-for-one.
+        """
+        program = self.compiler.program
+        if args[0][1] not in program.objects \
+                or args[1][1] not in program.objects:
+            return None  # KeyError path: keep runtime charge order.
+        n = self.consts.value_before(index, args[2])
+        if n is NAC or not isinstance(n, int) or isinstance(n, bool):
+            return None
+        return max(1, math.ceil(n / BULK_BURST_BYTES))
+
+    def memcpy_proven_in_bounds(self, index: int, args) -> bool:
+        """True when the verifier proves both sides inside their objects.
+
+        Uses machine-guaranteed intervals only, so the proof holds for
+        any runtime header/metadata contents. The emitted code still
+        guards on the buffers actually having their declared sizes
+        (callers may pass their own memory dict), so elision can never
+        change behavior — it only removes the per-copy range check from
+        the common path.
+        """
+        program = self.compiler.program
+        dst_ref, src_ref, length = args
+        length_iv = self.ranges.range_before(index, length)
+        if length_iv is None or length_iv.lo is None or length_iv.lo < 0 \
+                or length_iv.hi is None:
+            return False
+        for ref in (src_ref, dst_ref):
+            obj = program.objects.get(ref[1])
+            if obj is None:
+                return False
+            offset_iv = self.ranges.range_before(index, ref[2])
+            if offset_iv is None or offset_iv.lo is None \
+                    or offset_iv.lo < 0 or offset_iv.hi is None:
+                return False
+            if offset_iv.hi + length_iv.hi > obj.size_bytes:
+                return False
+        return True
+
     def lower_memcpy(self, index: int, args) -> Tuple[List[str], bool]:
         program = self.compiler.program
         dst_ref, src_ref, length = args
         _, dst_obj, dst_off = dst_ref
         _, src_obj, src_off = src_ref
+        const_bursts = self.memcpy_const_bursts(index, args)
         lines = [
             f"_n = {self.read_expr(index, length)}",
             f"_do = {self.read_expr(index, dst_off)}",
             f"_so = {self.read_expr(index, src_off)}",
-            f"_bursts = max(1, _ceil(_n / {BULK_BURST_BYTES}))",
         ]
+        if const_bursts is None:
+            lines.append(f"_bursts = max(1, _ceil(_n / {BULK_BURST_BYTES}))")
+            bursts_expr = "_bursts"
+        else:
+            # Burst count and cycle charges fold away; the cycles are
+            # part of the segment constant (see static_cycles).
+            self.compiler.lowering_stats["memcpy_folded"] += 1
+            bursts_expr = str(const_bursts)
         for obj, off_is_dst in ((src_obj, False), (dst_obj, True)):
             if obj not in program.objects:
                 message = f"{program.name!r} has no object {obj!r}"
@@ -492,14 +553,31 @@ class _FunctionLowering:
                 return lines, True
             region = program.objects[obj].region
             r = self.const(region)
-            lines.append(f"_ra[{r}] = _ra.get({r}, 0) + _bursts")
-            lines.append(
-                f"st.cycles += {REGION_ACCESS_CYCLES[region]} * _bursts")
+            lines.append(f"_ra[{r}] = _ra.get({r}, 0) + {bursts_expr}")
+            if const_bursts is None:
+                lines.append(
+                    f"st.cycles += {REGION_ACCESS_CYCLES[region]} * _bursts")
         lines += [
             f"_sb = st._object_bytes({self.const(src_obj)})",
             f"_db = st._object_bytes({self.const(dst_obj)})",
-            "if _so + _n > len(_sb) or _do + _n > len(_db):",
-            "    raise ExecutionError('memcpy out of bounds')",
+        ]
+        if self.memcpy_proven_in_bounds(index, args):
+            # Proven in-bounds against the declared sizes: check only
+            # when a caller-supplied memory dict deviates from them.
+            self.compiler.lowering_stats["memcpy_checks_elided"] += 1
+            src_size = program.objects[src_obj].size_bytes
+            dst_size = program.objects[dst_obj].size_bytes
+            lines += [
+                f"if len(_sb) != {src_size} or len(_db) != {dst_size}:",
+                "    if _so + _n > len(_sb) or _do + _n > len(_db):",
+                "        raise ExecutionError('memcpy out of bounds')",
+            ]
+        else:
+            lines += [
+                "if _so + _n > len(_sb) or _do + _n > len(_db):",
+                "    raise ExecutionError('memcpy out of bounds')",
+            ]
+        lines += [
             "_db[_do:_do + _n] = _sb[_so:_so + _n]",
             "st.wrote_memory = True",
         ]
@@ -547,7 +625,7 @@ class _FunctionLowering:
         """Base cycles plus statically-known region charges, folded."""
         program = self.compiler.program
         total = 0
-        for _, instruction in segment:
+        for index, instruction in segment:
             op = instruction.op
             total += BASE_CYCLES[op]
             obj = None
@@ -557,6 +635,14 @@ class _FunctionLowering:
                 obj = instruction.args[-2][1]
             elif op is Op.STORED:
                 obj = instruction.args[0][1]
+            elif op is Op.MEMCPY:
+                # Constant-length copies fold their DMA burst charges
+                # here; lower_memcpy drops the runtime counterpart.
+                bursts = self.memcpy_const_bursts(index, instruction.args)
+                if bursts is not None:
+                    for ref in (instruction.args[1], instruction.args[0]):
+                        region = program.objects[ref[1]].region
+                        total += bursts * REGION_ACCESS_CYCLES[region]
             if obj is not None and obj in program.objects:
                 total += REGION_ACCESS_CYCLES[program.objects[obj].region]
         return total
@@ -762,6 +848,13 @@ class JitProgram:
         self.source = ""
         #: IR function name -> generated Python callable.
         self.functions: Dict[str, Callable[[FastState], bool]] = {}
+        #: Verifier-assisted lowering wins (observability for tests /
+        #: dumps): constant-length MEMCPYs whose burst charges were
+        #: folded, and memcpy bounds checks elided via proven ranges.
+        self.lowering_stats: Dict[str, int] = {
+            "memcpy_folded": 0,
+            "memcpy_checks_elided": 0,
+        }
         self._compile()
 
     def const(self, value: Any) -> str:

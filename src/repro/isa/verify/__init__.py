@@ -11,8 +11,12 @@ interactive SLO. This package provides that proof layer:
 * :mod:`.analyses` — reaching definitions, liveness, constant
   propagation, initialized-register tracking (all interprocedural over
   the shared 16-register file);
+* :mod:`.intervals` — value-range (interval) abstract interpretation
+  with widening/narrowing, seeded from declared packet-format field
+  ranges, proving e.g. ``hash & (SIZE-1)`` offsets in-bounds;
 * :mod:`.memcheck` — bounds and access-mode checks against declared
-  :class:`~repro.isa.program.MemoryObject` regions;
+  :class:`~repro.isa.program.MemoryObject` regions, upgraded by the
+  interval analysis to proven-safe / definitely-out-of-bounds;
 * :mod:`.wcet` — loop-bound inference and worst-case cycle estimation
   using the interpreter's own per-op/region cost model, so static
   bounds are directly comparable to dynamic cycle counts;
@@ -47,6 +51,15 @@ from .cfg import (
     build_cfg,
 )
 from .dataflow import DataflowProblem, DataflowResult, FixpointError, solve
+from .intervals import (
+    ANY,
+    Interval,
+    IntervalLattice,
+    IntervalStates,
+    RangeSeeds,
+    interval_states,
+    refine_branch,
+)
 from .memcheck import check_memory, region_footprint
 from .report import Finding, Severity, VerifierReport
 from .verifier import (
@@ -58,6 +71,7 @@ from .wcet import LoopInfo, WcetResult, estimate_wcet, find_loops
 
 __all__ = [
     "ALL_REGISTERS",
+    "ANY",
     "BRANCH_OPS",
     "BasicBlock",
     "CFG",
@@ -68,11 +82,15 @@ __all__ = [
     "Finding",
     "FixpointError",
     "InterproceduralLiveness",
+    "Interval",
+    "IntervalLattice",
+    "IntervalStates",
     "LoopInfo",
     "MACHINE_TERMINATOR_OPS",
     "MAX_INSTRUCTIONS_PER_CORE",
     "NAC",
     "PURE_DEF_OPS",
+    "RangeSeeds",
     "Severity",
     "TERMINATOR_OPS",
     "VerifierReport",
@@ -86,8 +104,10 @@ __all__ = [
     "find_loops",
     "instruction_defs",
     "instruction_uses",
+    "interval_states",
     "may_write_registers",
     "reaching_definitions",
+    "refine_branch",
     "region_footprint",
     "solve",
     "uninitialized_reads",

@@ -3,7 +3,11 @@
 Verifies lambda assembly files (and, with ``--workloads``, every
 built-in benchmark program) and prints one report per program. Exits
 non-zero when any program has error-grade findings (or, with
-``--strict``, any warnings).
+``--strict``, any warnings; or, with ``--forbid CODE``, any finding
+with that code). ``--explain FUNC@IDX`` dumps the abstract state
+(value ranges and constants) the analyses proved at a program point;
+``--wcet-delta PATH`` writes a markdown table comparing each program's
+WCET with and without the interval analysis.
 """
 
 from __future__ import annotations
@@ -12,16 +16,75 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..asm import AsmError, assemble
 from ..program import LambdaProgram
+from .analyses import NAC, constant_states
+from .intervals import ANY, interval_states
 from .report import VerifierReport
 from .verifier import VerifyOptions, verify_program
 
 
 def _load_asm(path: str) -> LambdaProgram:
     return assemble(Path(path).read_text())
+
+
+def _explain_point(program: LambdaProgram, spec: str) -> int:
+    """Print the abstract state before ``FUNC@IDX`` in ``program``."""
+    func_name, _, index_text = spec.partition("@")
+    try:
+        index = int(index_text)
+    except ValueError:
+        print(f"--explain expects FUNC@IDX, got {spec!r}", file=sys.stderr)
+        return 1
+    function = program.functions.get(func_name)
+    if function is None:
+        return 0  # Not this program; another target may match.
+    if not 0 <= index < len(function.body):
+        print(f"{program.name}: {func_name} has no instruction {index}",
+              file=sys.stderr)
+        return 1
+    consts = constant_states(function)
+    ranges = interval_states(function, cfg=consts.cfg, program=program)
+    instruction = function.body[index]
+    print(f"{program.name}: {func_name}@{index}: {instruction!r}")
+    state = ranges.before(index)
+    const_state = consts.before(index)
+    if state is None:
+        print("  unreachable (no abstract state)")
+        return 0
+    for reg in sorted(state):
+        value = state[reg]
+        const = const_state.get(reg, NAC) if const_state else NAC
+        parts = []
+        if const is not NAC:
+            parts.append(f"const {const!r}")
+        if value is not ANY:
+            parts.append(f"range {value}")
+        if not parts:
+            parts.append("unknown (any value)")
+        print(f"  {reg}: {'; '.join(parts)}")
+    return 0
+
+
+def _wcet_delta_table(rows: List[Tuple[str, Optional[int], Optional[int]]]
+                      ) -> str:
+    """Markdown table of (program, wcet without intervals, with)."""
+    lines = [
+        "| program | WCET (pre-interval) | WCET (interval) | delta |",
+        "|---|---|---|---|",
+    ]
+    for name, before, after in rows:
+        fmt = lambda v: "unbounded" if v is None else f"{v} cycles"  # noqa: E731
+        if before is None and after is not None:
+            delta = "newly bounded"
+        elif before is not None and after is not None and before != after:
+            delta = f"-{before - after} cycles"
+        else:
+            delta = "0"
+        lines.append(f"| {name} | {fmt(before)} | {fmt(after)} | {delta} |")
+    return "\n".join(lines) + "\n"
 
 
 def _workload_programs() -> List[Tuple[str, LambdaProgram]]:
@@ -51,6 +114,16 @@ def main(argv: List[str] = None) -> int:
                         help="exit non-zero on warnings too")
     parser.add_argument("--quiet", action="store_true",
                         help="only print failing programs")
+    parser.add_argument("--forbid", metavar="CODE", action="append",
+                        default=[],
+                        help="exit non-zero if any finding has this code "
+                             "(repeatable), regardless of severity")
+    parser.add_argument("--explain", metavar="FUNC@IDX",
+                        help="print the abstract state (ranges, constants) "
+                             "before the given program point")
+    parser.add_argument("--wcet-delta", metavar="PATH", dest="wcet_delta",
+                        help="write a markdown WCET before/after-intervals "
+                             "table to PATH ('-' for stdout)")
     args = parser.parse_args(argv)
 
     if not args.files and not args.workloads:
@@ -69,14 +142,34 @@ def main(argv: List[str] = None) -> int:
         targets.extend(_workload_programs())
 
     failed = load_failures
+    forbidden = set(args.forbid)
+    delta_rows: List[Tuple[str, Optional[int], Optional[int]]] = []
     for label, program in targets:
         report = verify_program(program, VerifyOptions())
         reports.append(report)
-        bad = not report.ok or (args.strict and report.warnings)
+        hit = [f for f in report.findings if f.code in forbidden]
+        bad = not report.ok or (args.strict and report.warnings) or hit
         if bad:
             failed += 1
         if bad or not args.quiet:
             print(report.summary())
+        for finding in hit:
+            print(f"{report.program}: forbidden finding: {finding}",
+                  file=sys.stderr)
+        if args.explain:
+            failed += _explain_point(program, args.explain)
+        if args.wcet_delta:
+            baseline = verify_program(
+                program, VerifyOptions(use_intervals=False))
+            delta_rows.append((report.program, baseline.wcet_cycles,
+                               report.wcet_cycles))
+
+    if args.wcet_delta:
+        table = _wcet_delta_table(delta_rows)
+        if args.wcet_delta == "-":
+            print(table, end="")
+        else:
+            Path(args.wcet_delta).write_text(table)
 
     if args.json_path:
         payload = json.dumps([r.to_dict() for r in reports], indent=2)

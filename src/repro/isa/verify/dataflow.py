@@ -39,6 +39,11 @@ class DataflowProblem:
     #: ``FORWARD`` or ``BACKWARD``.
     direction: str = FORWARD
 
+    #: After this many in-state updates of one block, :meth:`widen` is
+    #: applied to accelerate convergence. 0 disables widening (finite
+    #: lattices converge on their own).
+    widen_after: int = 0
+
     def boundary(self, cfg: CFG, block: BasicBlock) -> Optional[Any]:
         """Extra state met into ``block``'s confluence, or None.
 
@@ -53,6 +58,25 @@ class DataflowProblem:
     def transfer(self, cfg: CFG, block: BasicBlock, state: Any) -> Any:
         """Push ``state`` through ``block`` (input side -> output side)."""
         raise NotImplementedError
+
+    def widen(self, old: Any, new: Any) -> Any:
+        """Accelerated join for infinite-height lattices (``old ∇ new``).
+
+        Only called once a block's in-state has been updated
+        :attr:`widen_after` times; must return an upper bound of both
+        arguments that cannot ascend forever.
+        """
+        return new
+
+    def edge(self, cfg: CFG, source: BasicBlock, target_bid: int,
+             state: Any) -> Optional[Any]:
+        """Refine ``source``'s out-state along the edge to ``target_bid``.
+
+        Forward problems only. Returning ``None`` marks the edge
+        *infeasible* (e.g. a branch whose condition the analysis proves
+        can never take it), which is treated like an unreached source.
+        """
+        return state
 
 
 @dataclass
@@ -95,6 +119,7 @@ def solve(cfg: CFG, problem: DataflowProblem) -> DataflowResult:
     queued = set(order)
     visits = 0
     limit = _MAX_VISITS_PER_BLOCK * max(1, len(blocks))
+    updates: Dict[int, int] = {}
 
     while work:
         visits += 1
@@ -114,6 +139,10 @@ def solve(cfg: CFG, problem: DataflowProblem) -> DataflowResult:
             src_state = out_states[src] if forward else in_states[src]
             if src_state is None:
                 continue
+            if forward:
+                src_state = problem.edge(cfg, blocks[src], bid, src_state)
+                if src_state is None:
+                    continue  # Infeasible edge.
             acc = src_state if acc is None else problem.meet(acc, src_state)
         if acc is None:
             continue  # Unreached so far.
@@ -121,6 +150,13 @@ def solve(cfg: CFG, problem: DataflowProblem) -> DataflowResult:
         if forward:
             if acc == in_states[bid] and out_states[bid] is not None:
                 continue
+            if problem.widen_after:
+                count = updates.get(bid, 0) + 1
+                updates[bid] = count
+                if count > problem.widen_after and in_states[bid] is not None:
+                    acc = problem.widen(in_states[bid], acc)
+                    if acc == in_states[bid] and out_states[bid] is not None:
+                        continue
             in_states[bid] = acc
             new_out = problem.transfer(cfg, block, acc)
             if new_out != out_states[bid]:

@@ -10,8 +10,11 @@ about *offsets* using constant propagation:
 * a store into a declared read-only object is an **error** (the
   ``AccessMode`` contract; the isolation the paper's §4.2.1-D2 pragma
   system promises);
-* an offset the analysis cannot bound is a **warning** (the program may
-  be fine — e.g. a hash-masked index — but the verifier cannot prove it);
+* an offset constant propagation cannot pin is handed to the interval
+  analysis (:mod:`.intervals`): a range proven inside the object is
+  recorded as an **info**-grade ``proven-offset`` finding (e.g. a
+  hash-masked index), a range proven fully outside is an **error**, and
+  only a genuinely unbounded or straddling range remains a **warning**;
 * per-region data footprints beyond the modelled NIC's capacity are
   **errors**.
 
@@ -28,6 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..instructions import Op, REGION_CAPACITY_BYTES, Region, is_mem_ref
 from ..program import AccessMode, LambdaProgram, MemoryObject
 from .analyses import ConstantStates, NAC, constant_states
+from .intervals import Interval, IntervalStates, interval_states
 from .report import Finding, Severity
 
 
@@ -52,6 +56,7 @@ def _word_access(
     memref: Tuple[str, str, Any],
     offset_value: Any,
     is_write: bool,
+    offset_range: Optional[Interval] = None,
 ) -> None:
     obj = program.objects.get(memref[1])
     if obj is None:
@@ -70,10 +75,32 @@ def _word_access(
             function, index, instruction,
         ))
     if offset_value is NAC:
+        size = obj.size_bytes
+        r = offset_range
+        if r is not None and r.lo is not None and r.hi is not None \
+                and r.lo >= 0 and r.hi < size:
+            findings.append(_finding(
+                Severity.INFO, "proven-offset",
+                f"{kind} offset into {obj.name!r} proven in {r} "
+                f"(object size {size} B)",
+                function, index, instruction,
+            ))
+            return
+        if r is not None and ((r.lo is not None and r.lo >= size)
+                              or (r.hi is not None and r.hi < 0)):
+            findings.append(_finding(
+                Severity.ERROR, f"oob-{kind}",
+                f"{kind} offset into {obj.name!r} proven in {r}, entirely "
+                f"outside the object (size {size} B)",
+                function, index, instruction,
+            ))
+            return
+        detail = f"; best known range {r}" if r is not None \
+            and (r.lo is not None or r.hi is not None) else ""
         findings.append(_finding(
             Severity.WARNING, "unknown-offset",
             f"cannot bound {kind} offset into {obj.name!r} "
-            f"({obj.size_bytes} B)",
+            f"({obj.size_bytes} B){detail}",
             function, index, instruction,
         ))
         return
@@ -103,6 +130,8 @@ def _memcpy_side(
     offset_value: Any,
     length_value: Any,
     is_write: bool,
+    offset_range: Optional[Interval] = None,
+    length_range: Optional[Interval] = None,
 ) -> None:
     obj = program.objects.get(memref[1])
     if obj is None:
@@ -114,6 +143,35 @@ def _memcpy_side(
             function, index, instruction,
         ))
     if offset_value is NAC or length_value is NAC:
+        size = obj.size_bytes
+        ro, rn = offset_range, length_range
+        if isinstance(offset_value, int):
+            ro = Interval(offset_value, offset_value)
+        if isinstance(length_value, int):
+            rn = Interval(length_value, length_value)
+        if ro is not None and rn is not None \
+                and ro.lo is not None and ro.lo >= 0 \
+                and rn.lo is not None and rn.lo >= 0 \
+                and ro.hi is not None and rn.hi is not None \
+                and ro.hi + rn.hi <= size:
+            findings.append(_finding(
+                Severity.INFO, "proven-offset",
+                f"memcpy range in {obj.name!r} proven within "
+                f"[{ro.lo}, {ro.hi + rn.hi}] (object size {size} B)",
+                function, index, instruction,
+            ))
+            return
+        if ro is not None and rn is not None and (
+                (ro.lo is not None and rn.lo is not None
+                 and ro.lo + rn.lo > size)
+                or (ro.hi is not None and ro.hi < 0)):
+            findings.append(_finding(
+                Severity.ERROR, "oob-memcpy",
+                f"memcpy range in {obj.name!r} proven out of bounds "
+                f"(offset {ro}, length {rn}, object size {size} B)",
+                function, index, instruction,
+            ))
+            return
         findings.append(_finding(
             Severity.WARNING, "unknown-offset",
             f"cannot bound memcpy range in {obj.name!r}",
@@ -144,21 +202,36 @@ def region_footprint(program: LambdaProgram) -> Dict[str, int]:
 def check_memory(
     program: LambdaProgram,
     consts: Optional[Dict[str, ConstantStates]] = None,
+    ranges: Optional[Dict[str, IntervalStates]] = None,
+    use_intervals: bool = True,
 ) -> List[Finding]:
     """All memory-safety findings for ``program``.
 
-    ``consts`` may supply precomputed per-function constant states
-    (keyed by function name) to avoid re-solving; missing entries are
-    computed on demand.
+    ``consts`` and ``ranges`` may supply precomputed per-function
+    constant / interval states (keyed by function name) to avoid
+    re-solving; missing entries are computed on demand. With
+    ``use_intervals=False`` no interval analysis runs and offsets that
+    constant propagation cannot pin stay ``unknown-offset`` warnings.
     """
     findings: List[Finding] = []
     consts = dict(consts) if consts else {}
+    ranges = dict(ranges) if ranges else {}
 
     for name, function in program.functions.items():
         analysis = consts.get(name)
         if analysis is None:
             analysis = constant_states(function)
             consts[name] = analysis
+        intervals = ranges.get(name)
+        if intervals is None and use_intervals:
+            intervals = interval_states(function, cfg=analysis.cfg,
+                                        program=program)
+            ranges[name] = intervals
+
+        def range_of(index: int, operand: Any):
+            if intervals is None:
+                return None
+            return intervals.range_before(index, operand)
 
         for index, instruction in enumerate(function.body):
             op = instruction.op
@@ -167,25 +240,33 @@ def check_memory(
                 if is_mem_ref(memref):
                     offset = analysis.value_before(index, memref[2])
                     _word_access(findings, program, name, index, instruction,
-                                 memref, offset, is_write=False)
+                                 memref, offset, is_write=False,
+                                 offset_range=range_of(index, memref[2]))
             elif op in (Op.STORE, Op.STORED):
                 memref = instruction.args[-2] if op is Op.STORE \
                     else instruction.args[0]
                 if is_mem_ref(memref):
                     offset = analysis.value_before(index, memref[2])
                     _word_access(findings, program, name, index, instruction,
-                                 memref, offset, is_write=True)
+                                 memref, offset, is_write=True,
+                                 offset_range=range_of(index, memref[2]))
             elif op is Op.MEMCPY:
                 dst_ref, src_ref, length = instruction.args
                 length_value = analysis.value_before(index, length)
+                length_range = range_of(index, length)
                 if is_mem_ref(dst_ref):
                     dst_off = analysis.value_before(index, dst_ref[2])
                     _memcpy_side(findings, program, name, index, instruction,
-                                 dst_ref, dst_off, length_value, is_write=True)
+                                 dst_ref, dst_off, length_value, is_write=True,
+                                 offset_range=range_of(index, dst_ref[2]),
+                                 length_range=length_range)
                 if is_mem_ref(src_ref):
                     src_off = analysis.value_before(index, src_ref[2])
                     _memcpy_side(findings, program, name, index, instruction,
-                                 src_ref, src_off, length_value, is_write=False)
+                                 src_ref, src_off, length_value,
+                                 is_write=False,
+                                 offset_range=range_of(index, src_ref[2]),
+                                 length_range=length_range)
             elif op is Op.INTRINSIC:
                 _check_intrinsic(findings, program, name, index, instruction)
 

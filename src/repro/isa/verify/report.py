@@ -79,6 +79,10 @@ class VerifierReport:
     wcet_cycles: Optional[int] = None
     #: Per-function worst-case cycles (callees included).
     function_wcet: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: Per-function WCET bound method ("longest-path", "loop-product",
+    #: "path-sensitive-loops", or "unknown") — provenance for the
+    #: numbers in :attr:`function_wcet`.
+    wcet_method: Dict[str, str] = field(default_factory=dict)
     #: Data bytes placed per memory region (region value -> bytes).
     region_footprint: Dict[str, int] = field(default_factory=dict)
     instruction_count: int = 0
@@ -122,6 +126,7 @@ class VerifierReport:
             "data_bytes": self.data_bytes,
             "wcet_cycles": self.wcet_cycles,
             "function_wcet": dict(self.function_wcet),
+            "wcet_method": dict(self.wcet_method),
             "region_footprint": dict(self.region_footprint),
             "errors": len(self.errors),
             "warnings": len(self.warnings),

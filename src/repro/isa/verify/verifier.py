@@ -11,8 +11,9 @@ lint-grade.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, Tuple
 
+from ..instructions import Op
 from ..program import LambdaProgram
 from .analyses import (
     ALL_REGISTERS,
@@ -23,6 +24,7 @@ from .analyses import (
     uninitialized_reads,
 )
 from .cfg import CFG, build_cfg
+from .intervals import IntervalStates, interval_states
 from .memcheck import check_memory, region_footprint
 from .report import Finding, Severity, VerifierReport
 from .wcet import estimate_wcet
@@ -51,6 +53,14 @@ class VerifyOptions:
     check_dead_stores: bool = True
     check_memory: bool = True
     check_wcet: bool = True
+    #: Run the interval (value-range) analysis and let memcheck / WCET
+    #: consume it. Off, the verifier reproduces its pre-interval
+    #: behavior exactly — the admission differential guard compares
+    #: the two.
+    use_intervals: bool = True
+    #: Extra caller-supplied metadata-key ranges seeding the interval
+    #: analysis (key -> inclusive (lo, hi)).
+    meta_ranges: Optional[Dict[str, Tuple[int, int]]] = None
     max_instructions: int = MAX_INSTRUCTIONS_PER_CORE
 
 
@@ -108,6 +118,13 @@ def verify_program(
         name: constant_states(function, cfg=cfgs[name])
         for name, function in program.functions.items()
     }
+    ranges: Optional[Dict[str, IntervalStates]] = None
+    if options.use_intervals:
+        ranges = {
+            name: interval_states(function, cfg=cfgs[name], program=program,
+                                  meta_ranges=options.meta_ranges)
+            for name, function in program.functions.items()
+        }
     has_entry = entry in program.functions
 
     # 3. Unreachable functions and blocks.
@@ -171,27 +188,59 @@ def verify_program(
 
     # 6. Memory bounds / isolation / capacity.
     if options.check_memory:
-        findings.extend(check_memory(program, consts))
+        findings.extend(check_memory(program, consts, ranges,
+                                     use_intervals=options.use_intervals))
 
     # 7. WCET and loop bounds.
     if options.check_wcet and has_entry:
-        wcet = estimate_wcet(program, entry=entry, consts=consts)
+        wcet = estimate_wcet(program, entry=entry, consts=consts,
+                             ranges=ranges,
+                             use_intervals=options.use_intervals)
         findings.extend(wcet.findings)
         report.wcet_cycles = wcet.total_cycles
         report.function_wcet = dict(wcet.function_cycles)
+        report.wcet_method = dict(wcet.function_method)
         for name, loops in wcet.loops.items():
             for loop in loops:
                 if loop.bound is None:
                     continue  # Reported as an unbounded-loop error.
+                provenance = f"counter {loop.counter}"
+                if loop.bound_source:
+                    provenance += f", via {loop.bound_source}"
+                if loop.body_trips is not None:
+                    provenance += f", body <= {loop.body_trips} trips"
                 findings.append(Finding(
                     severity=Severity.INFO,
                     code="loop-bound",
                     message=(
                         f"loop bounded at {loop.bound} iterations "
-                        f"(counter {loop.counter})"
+                        f"({provenance})"
                     ),
                     function=name,
                     index=loop.exit_index,
+                ))
+
+    # 8. Intrinsics without a static cost model: advisory even when the
+    # WCET pass is off (which would otherwise be the only thing that
+    # notices, as a warning on its own path).
+    from ..interpreter import intrinsic_wcet
+
+    for name, function in program.functions.items():
+        for index, instruction in enumerate(function.body):
+            if instruction.op is not Op.INTRINSIC:
+                continue
+            if intrinsic_wcet(instruction.args[0]) is None:
+                findings.append(Finding(
+                    severity=Severity.INFO,
+                    code="missing-wcet-model",
+                    message=(
+                        f"intrinsic {instruction.args[0]!r} declares no "
+                        "WCET model (register one with "
+                        "register_intrinsic(..., wcet=...))"
+                    ),
+                    function=name,
+                    index=index,
+                    instruction=repr(instruction),
                 ))
 
     report.sort()

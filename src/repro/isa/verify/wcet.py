@@ -18,9 +18,20 @@ Method:
   exactly one ``add``/``sub`` self-update with constant stride inside
   the loop (and no call in the loop can clobber it). The trip count is
   solved in closed form, plus one iteration of slack for test-order
-  ambiguity. Bounded loops yield the sound (if loose) product bound
-  ``sum(block_cost x prod(enclosing loop bounds))``; an unbounded loop
-  is an error and the WCET is unknown;
+  ambiguity. When constant propagation cannot pin the limit or the
+  initial value, the interval analysis (:mod:`.intervals`) supplies
+  finite ranges instead and the trip count is maximised over the range
+  corners (sound because the first-exit iteration is monotone in both
+  endpoints for a fixed stride) — this bounds loops whose limit comes
+  from a declared header field, e.g. ``hload``-ed lengths;
+* bounded loops yield the sound (if loose) product bound
+  ``sum(block_cost x prod(enclosing loop bounds))``. When the loop
+  nesting is proper the analysis also computes a *path-sensitive*
+  collapse — each loop region is reduced to ``full_iterations x
+  longest-single-iteration-path + longest-exit-path`` over a DAG with
+  inner loops collapsed to summary nodes — and reports
+  ``min(product, collapsed)``. An unbounded loop is an error and the
+  WCET is unknown;
 * calls add the callee's WCET (call graph processed callees-first;
   recursion is an error);
 * intrinsics use their registered static cost model
@@ -53,6 +64,7 @@ from .analyses import (
     may_write_registers,
 )
 from .cfg import BRANCH_OPS, CFG, build_cfg
+from .intervals import Interval, IntervalStates, interval_states
 from .report import Finding, Severity
 
 
@@ -69,6 +81,13 @@ class LoopInfo:
     counter: Optional[str] = None
     #: Body index of the exit-test branch used for the bound.
     exit_index: Optional[int] = None
+    #: How the bound was established: "counted" (constant propagation)
+    #: or "interval" (range corners).
+    bound_source: Optional[str] = None
+    #: Interval-derived cap on *complete* iterations (executions of the
+    #: counter update), when the update runs on every iteration. May be
+    #: tighter than ``bound - 1``; used by the path-sensitive collapse.
+    body_trips: Optional[int] = None
 
     @property
     def bounded(self) -> bool:
@@ -85,6 +104,9 @@ class WcetResult:
     function_cycles: Dict[str, Optional[int]] = field(default_factory=dict)
     loops: Dict[str, List[LoopInfo]] = field(default_factory=dict)
     findings: List[Finding] = field(default_factory=list)
+    #: Per-function bound method: "longest-path" (acyclic, exact),
+    #: "loop-product", "path-sensitive-loops", or "unknown".
+    function_method: Dict[str, str] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -96,8 +118,14 @@ def find_loops(
     cfg: CFG,
     consts: Optional[ConstantStates] = None,
     program: Optional[LambdaProgram] = None,
+    ranges: Optional[IntervalStates] = None,
 ) -> List[LoopInfo]:
-    """Natural loops of ``cfg`` with inferred bounds where possible."""
+    """Natural loops of ``cfg`` with inferred bounds where possible.
+
+    ``ranges`` (an :func:`~.intervals.interval_states` result) enables
+    the interval fallback for bounds constant propagation cannot pin and
+    the ``body_trips`` refinement.
+    """
     back_edges = cfg.back_edges()
     if not back_edges:
         return []
@@ -117,7 +145,7 @@ def find_loops(
             info.back_edges.append((source, header))
     loops = [by_header[h] for h in sorted(by_header)]
     for loop in loops:
-        _infer_bound(cfg, loop, consts, program)
+        _infer_bound(cfg, loop, consts, program, ranges)
     return loops
 
 
@@ -130,8 +158,10 @@ _SWAP = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
 
 
 def _infer_bound(cfg: CFG, loop: LoopInfo, consts: ConstantStates,
-                 program: Optional[LambdaProgram]) -> None:
-    best: Optional[Tuple[int, str, int]] = None  # (bound, counter, index)
+                 program: Optional[LambdaProgram],
+                 ranges: Optional[IntervalStates] = None) -> None:
+    # (bound, counter, index, source)
+    best: Optional[Tuple[int, str, int, str]] = None
     for bid in sorted(loop.blocks):
         block = cfg.block(bid)
         term = block.terminator
@@ -143,13 +173,20 @@ def _infer_bound(cfg: CFG, loop: LoopInfo, consts: ConstantStates,
         index = block.instructions[-1][0]
         candidate = _counted_bound(cfg, loop, term, exit_kind, index,
                                    consts, program)
+        source = "counted"
+        if candidate is None and ranges is not None:
+            candidate = _interval_bound(cfg, loop, term, exit_kind, index,
+                                        consts, program, ranges)
+            source = "interval"
         if candidate is None:
             continue
         bound, counter = candidate
         if best is None or bound < best[0]:
-            best = (bound, counter, index)
+            best = (bound, counter, index, source)
     if best is not None:
-        loop.bound, loop.counter, loop.exit_index = best
+        loop.bound, loop.counter, loop.exit_index, loop.bound_source = best
+        if ranges is not None:
+            loop.body_trips = _body_trips(cfg, loop, consts, program, ranges)
 
 
 def _exit_kind(cfg: CFG, loop: LoopInfo, block, term) -> Optional[bool]:
@@ -214,7 +251,19 @@ def _unique_step(
     program: Optional[LambdaProgram],
 ) -> Optional[int]:
     """The constant stride of ``counter``'s single in-loop update."""
-    step: Optional[int] = None
+    update = _unique_update(cfg, loop, counter, consts, program)
+    return update[0] if update is not None else None
+
+
+def _unique_update(
+    cfg: CFG,
+    loop: LoopInfo,
+    counter: str,
+    consts: ConstantStates,
+    program: Optional[LambdaProgram],
+) -> Optional[Tuple[int, int, int]]:
+    """``(stride, body_index, bid)`` of ``counter``'s single in-loop update."""
+    found: Optional[Tuple[int, int, int]] = None
     for bid in loop.blocks:
         for index, instruction in cfg.block(bid).instructions:
             if instruction.op is Op.CALL:
@@ -227,14 +276,13 @@ def _unique_step(
                 continue
             if counter not in instruction_defs(instruction):
                 continue
-            if step is not None:
+            if found is not None:
                 return None  # More than one update: give up.
             step = _step_of(instruction, counter, consts, index)
-            if step is None:
+            if step is None or step == 0:
                 return None
-    if step == 0:
-        return None
-    return step
+            found = (step, index, bid)
+    return found
 
 
 def _step_of(instruction: Instruction, counter: str,
@@ -316,6 +364,181 @@ def _first_exit(kind: str, init: int, step: int, limit: Any) -> Optional[int]:
 
 
 # ---------------------------------------------------------------------------
+# Interval-derived loop bounds
+# ---------------------------------------------------------------------------
+
+
+def _interval_bound(
+    cfg: CFG,
+    loop: LoopInfo,
+    term: Instruction,
+    exits_on_true: bool,
+    test_index: int,
+    consts: ConstantStates,
+    program: Optional[LambdaProgram],
+    ranges: IntervalStates,
+) -> Optional[Tuple[int, str]]:
+    """Counted-loop bound with the init/limit given by intervals.
+
+    Sound only when the limit operand is loop-invariant (seeded header /
+    metadata reads are invariant by construction — any store to them
+    unseeds the range program-wide) and every range corner yields a
+    finite first-exit iteration.
+    """
+    a, b = term.args[0], term.args[1]
+    kind0 = _BRANCH_KIND[term.op]
+    best: Optional[Tuple[int, str]] = None
+    for counter, limit, kind in ((a, b, kind0), (b, a, _SWAP[kind0])):
+        if not is_register(counter):
+            continue
+        update = _unique_update(cfg, loop, counter, consts, program)
+        if update is None:
+            continue
+        step = update[0]
+        if not _loop_invariant(cfg, loop, limit, program):
+            continue
+        limit_iv = ranges.range_before(test_index, limit)
+        if limit_iv is None or not limit_iv.is_finite:
+            continue
+        init_iv = _entry_range(cfg, loop, counter, ranges)
+        if init_iv is None or not init_iv.is_finite:
+            continue
+        if not exits_on_true:
+            kind = _NEGATE[kind]
+        trips = _corner_trips(kind, init_iv, step, limit_iv)
+        if trips is None:
+            continue
+        # Same +1 slack as the counted path (test-order ambiguity).
+        candidate = (trips + 1, counter)
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    return best
+
+
+def _loop_invariant(cfg: CFG, loop: LoopInfo, operand: Any,
+                    program: Optional[LambdaProgram]) -> bool:
+    """True when ``operand``'s value cannot change inside ``loop``.
+
+    Literals are trivially invariant; header/metadata references only
+    carry an interval when nothing in the program stores to them, so
+    they are invariant whenever a range exists. A register must have no
+    in-loop definition and no in-loop call that may clobber it.
+    """
+    if not is_register(operand):
+        return True
+    for bid in loop.blocks:
+        for _index, instruction in cfg.block(bid).instructions:
+            if instruction.op is Op.CALL:
+                callee_writes = (
+                    may_write_registers(program, instruction.args[0])
+                    if program is not None else ALL_REGISTERS
+                )
+                if operand in callee_writes:
+                    return False
+                continue
+            if operand in instruction_defs(instruction):
+                return False
+    return True
+
+
+def _entry_range(cfg: CFG, loop: LoopInfo, counter: str,
+                 ranges: IntervalStates) -> Optional[Interval]:
+    """Joined interval of ``counter`` over all loop-entry edges."""
+    joined: Optional[Interval] = None
+    header = cfg.block(loop.header)
+    for pred in header.preds:
+        if pred in loop.blocks:
+            continue  # Back edge or in-loop path.
+        state = ranges.result.after(pred)
+        if state is None:
+            continue  # Unreachable predecessor.
+        value = state.get(counter)
+        if not isinstance(value, Interval):
+            return None
+        joined = value if joined is None else joined.join(value)
+    return joined
+
+
+def _corner_trips(kind: str, init: Interval, step: int,
+                  limit: Interval) -> Optional[int]:
+    """Max first-exit iteration over the init/limit range corners.
+
+    For lt/le/gt/ge the first-exit index is monotone in both the initial
+    value and the limit (fixed stride), so the maximum over the four
+    corners bounds every concrete pair. ``ne`` exits within two
+    iterations for any fixed limit (a strictly monotone counter can
+    equal it at most once); ``eq`` needs both ends pinned exactly.
+    """
+    if kind == "ne":
+        if init.is_constant and limit.is_constant:
+            return _first_exit("ne", init.lo, step, limit.lo)
+        return 2
+    if kind == "eq":
+        if init.is_constant and limit.is_constant:
+            return _first_exit("eq", init.lo, step, limit.lo)
+        return None
+    trips: List[int] = []
+    for start in {init.lo, init.hi}:
+        for lim in {limit.lo, limit.hi}:
+            k = _first_exit(kind, start, step, lim)
+            if k is None:
+                return None  # Some corner never exits: unbounded.
+            trips.append(k)
+    return max(trips)
+
+
+def _body_trips(cfg: CFG, loop: LoopInfo, consts: ConstantStates,
+                program: Optional[LambdaProgram],
+                ranges: IntervalStates) -> Optional[int]:
+    """Interval-derived cap on executions of the counter update.
+
+    Each update observes a distinct counter value (the unique update is
+    the counter's only in-loop definition, so consecutive observations
+    differ by exactly the stride); all observations lie in the counter's
+    fixpoint interval at the update, so at most
+    ``(hi - lo) // |stride| + 1`` updates can run. This caps *complete*
+    iterations only when the update executes on every path from the
+    header to a back edge.
+    """
+    if loop.counter is None:
+        return None
+    update = _unique_update(cfg, loop, loop.counter, consts, program)
+    if update is None:
+        return None
+    step, index, bid = update
+    if not _on_every_iteration(cfg, loop, bid):
+        return None
+    observed = ranges.range_before(index, loop.counter)
+    if observed is None or not observed.is_finite:
+        return None
+    return (observed.hi - observed.lo) // abs(step) + 1
+
+
+def _on_every_iteration(cfg: CFG, loop: LoopInfo, update_bid: int) -> bool:
+    """True when every header-to-back-edge path passes ``update_bid``."""
+    if update_bid == loop.header:
+        return True
+    sources = {source for source, _header in loop.back_edges}
+    if loop.header in sources:
+        return False  # Self-edge iteration skips the update block.
+    if sources == {update_bid}:
+        return True
+    # Flood-fill the loop from the header with the update block removed;
+    # any back-edge source still reachable has an update-free iteration.
+    seen: Set[int] = set()
+    stack = [loop.header]
+    while stack:
+        bid = stack.pop()
+        for succ in cfg.block(bid).succs:
+            if (succ == update_bid or succ == loop.header
+                    or succ not in loop.blocks or succ in seen):
+                continue
+            seen.add(succ)
+            stack.append(succ)
+    return not (sources & seen)
+
+
+# ---------------------------------------------------------------------------
 # WCET estimation
 # ---------------------------------------------------------------------------
 
@@ -328,6 +551,7 @@ def _instruction_wcet(
     callee_wcet: Dict[str, Optional[int]],
     findings: List[Finding],
     function_name: str,
+    ranges: Optional[IntervalStates] = None,
 ) -> Optional[int]:
     op = instruction.op
     cycles = BASE_CYCLES[op]
@@ -347,6 +571,12 @@ def _instruction_wcet(
         if not isinstance(n, int):
             sizes = [o.size_bytes for o in (dst, src) if o is not None]
             n = min(sizes) if sizes else BULK_BURST_BYTES
+            if ranges is not None:
+                # A proven upper range on the length can only tighten the
+                # object-size fallback (longer copies fault, not cost).
+                length_iv = ranges.range_before(index, length)
+                if length_iv is not None and length_iv.hi is not None:
+                    n = min(n, max(length_iv.hi, 0))
         bursts = max(1, math.ceil(max(n, 0) / BULK_BURST_BYTES))
         for obj in (src, dst):
             if obj is not None:
@@ -394,23 +624,24 @@ def _function_wcet(
     consts: ConstantStates,
     callee_wcet: Dict[str, Optional[int]],
     findings: List[Finding],
-) -> Tuple[Optional[int], List[LoopInfo]]:
+    ranges: Optional[IntervalStates] = None,
+) -> Tuple[Optional[int], List[LoopInfo], str]:
     reachable = cfg.reachable()
     if not reachable:
-        return 0, []
+        return 0, [], "longest-path"
     block_cost: Dict[int, Optional[int]] = {}
     for bid in reachable:
         total: Optional[int] = 0
         for index, instruction in cfg.block(bid).instructions:
             cost = _instruction_wcet(program, instruction, index, consts,
-                                     callee_wcet, findings, name)
+                                     callee_wcet, findings, name, ranges)
             if cost is None:
                 total = None
                 break
             total += cost
         block_cost[bid] = total
 
-    loops = find_loops(cfg, consts, program)
+    loops = find_loops(cfg, consts, program, ranges)
     for loop in loops:
         if loop.bound is None:
             anchor = loop.exit_index
@@ -430,7 +661,7 @@ def _function_wcet(
             ))
 
     if any(block_cost[bid] is None for bid in reachable):
-        return None, loops
+        return None, loops, "unknown"
 
     if not loops:
         # Exact longest path over the acyclic reachable subgraph.
@@ -441,10 +672,10 @@ def _function_wcet(
                 default=0,
             )
             memo[bid] = block_cost[bid] + succ_max
-        return memo.get(cfg.entry, 0), loops
+        return memo.get(cfg.entry, 0), loops, "longest-path"
 
     if any(loop.bound is None for loop in loops):
-        return None, loops
+        return None, loops, "unknown"
 
     total = 0
     for bid in reachable:
@@ -453,18 +684,202 @@ def _function_wcet(
             if bid in loop.blocks:
                 multiplier *= loop.bound
         total += block_cost[bid] * multiplier
-    return total, loops
+
+    # The path-sensitive collapse rides the interval pass: with
+    # use_intervals=False the historical product bound is reproduced
+    # bit-for-bit (the admission differential guard relies on this).
+    collapsed = _collapsed_wcet(cfg, reachable, block_cost, loops) \
+        if ranges is not None else None
+    if collapsed is not None and collapsed < total:
+        return collapsed, loops, "path-sensitive-loops"
+    return total, loops, "loop-product"
+
+
+# ---------------------------------------------------------------------------
+# Path-sensitive loop collapse
+# ---------------------------------------------------------------------------
+
+
+def _collapsed_wcet(
+    cfg: CFG,
+    reachable: Set[int],
+    block_cost: Dict[int, Optional[int]],
+    loops: List[LoopInfo],
+) -> Optional[int]:
+    """Longest path with each loop collapsed to a summary node.
+
+    Bottom-up over a properly nested loop forest: a loop region becomes
+    a DAG (back edges to the header removed, inner loops already
+    collapsed) and is summarised as ``full_iterations x longest
+    header-rooted path + longest path ending at an exit``, where
+    ``full_iterations = min(bound - 1, body_trips)``. Unlike the product
+    bound this charges only one path per iteration, so branchy loop
+    bodies stop paying for both sides of every branch. Returns None when
+    the nesting is improper or a region is not reducible to a DAG — the
+    caller keeps the product bound.
+    """
+    for i, a in enumerate(loops):
+        for b in loops[i + 1:]:
+            overlap = a.blocks & b.blocks
+            if not overlap:
+                continue
+            if a.blocks == b.blocks or not (
+                    a.blocks < b.blocks or b.blocks < a.blocks):
+                return None  # Shared or improperly nested bodies.
+
+    children: Dict[int, List[LoopInfo]] = {loop.header: [] for loop in loops}
+    top: List[LoopInfo] = []
+    for loop in loops:
+        enclosing = [outer for outer in loops
+                     if outer is not loop and loop.blocks < outer.blocks]
+        if enclosing:
+            parent = min(enclosing, key=lambda outer: len(outer.blocks))
+            children[parent.header].append(loop)
+        else:
+            top.append(loop)
+
+    totals: Dict[int, Optional[int]] = {}
+
+    def loop_total(loop: LoopInfo) -> Optional[int]:
+        cached = totals.get(loop.header)
+        if cached is not None or loop.header in totals:
+            return cached
+        value = _region_longest(
+            cfg, loop.blocks, loop.header, children[loop.header],
+            block_cost, loop_total, loop=loop,
+        )
+        totals[loop.header] = value
+        return value
+
+    return _region_longest(cfg, frozenset(reachable), cfg.entry, top,
+                           block_cost, loop_total, loop=None)
+
+
+def _region_longest(
+    cfg: CFG,
+    region: FrozenSet[int],
+    start: int,
+    inner: List[LoopInfo],
+    block_cost: Dict[int, Optional[int]],
+    loop_total: Callable[[LoopInfo], Optional[int]],
+    loop: Optional[LoopInfo],
+) -> Optional[int]:
+    """Longest-path cost of ``region`` with ``inner`` loops collapsed.
+
+    With ``loop`` set the region is that loop's body: edges back to the
+    header are dropped and the summary ``cap x iter_max + exit_max`` is
+    returned; otherwise the plain longest path from ``start``.
+    """
+    # Natural-loop bodies can pull in unreachable predecessor blocks;
+    # only costed (reachable) blocks participate.
+    region = frozenset(bid for bid in region if bid in block_cost)
+    if start not in region:
+        return None
+    node_of: Dict[int, Tuple[str, int]] = {}
+    for child in inner:
+        for bid in child.blocks:
+            node_of[bid] = ("loop", child.header)
+    for bid in region:
+        node_of.setdefault(bid, ("block", bid))
+    if node_of.get(start) != ("block", start):
+        return None  # Start swallowed by a child region: give up.
+
+    cost: Dict[Tuple[str, int], int] = {}
+    for child in inner:
+        child_total = loop_total(child)
+        if child_total is None:
+            return None
+        cost[("loop", child.header)] = child_total
+    for bid in region:
+        node = node_of[bid]
+        if node[0] == "block":
+            cost[node] = block_cost[bid]  # type: ignore[assignment]
+
+    edges: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+    exits: Set[Tuple[str, int]] = set()
+    for bid in region:
+        node = node_of[bid]
+        block = cfg.block(bid)
+        if block.is_exit:
+            exits.add(node)
+        for succ in block.succs:
+            if succ not in region:
+                exits.add(node)
+                continue
+            if loop is not None and succ == start:
+                continue  # Iteration back edge.
+            succ_node = node_of[succ]
+            if succ_node != node:
+                edges.setdefault(node, set()).add(succ_node)
+
+    order = _topo_order(set(cost), edges)
+    if order is None:
+        return None  # Residual cycle (irreducible region).
+
+    start_node = ("block", start)
+    dist: Dict[Tuple[str, int], int] = {start_node: cost[start_node]}
+    for node in order:
+        base = dist.get(node)
+        if base is None:
+            continue
+        for succ_node in edges.get(node, ()):
+            candidate = base + cost[succ_node]
+            if candidate > dist.get(succ_node, candidate - 1):
+                dist[succ_node] = candidate
+
+    if loop is None:
+        return max(dist.values(), default=0)
+    iter_max = max(dist.values(), default=0)
+    exit_costs = [dist[node] for node in exits if node in dist]
+    exit_max = max(exit_costs) if exit_costs else iter_max
+    cap = loop.bound - 1 if loop.bound is not None else None
+    if cap is None:
+        return None
+    if loop.body_trips is not None:
+        cap = min(cap, loop.body_trips)
+    return max(cap, 0) * iter_max + exit_max
+
+
+def _topo_order(
+    nodes: Set[Tuple[str, int]],
+    edges: Dict[Tuple[str, int], Set[Tuple[str, int]]],
+) -> Optional[List[Tuple[str, int]]]:
+    indegree = {node: 0 for node in nodes}
+    for _source, targets in edges.items():
+        for target in targets:
+            indegree[target] += 1
+    ready = [node for node in nodes if indegree[node] == 0]
+    order: List[Tuple[str, int]] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for target in edges.get(node, ()):
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                ready.append(target)
+    if len(order) != len(nodes):
+        return None
+    return order
 
 
 def estimate_wcet(
     program: LambdaProgram,
     entry: Optional[str] = None,
     consts: Optional[Dict[str, ConstantStates]] = None,
+    ranges: Optional[Dict[str, IntervalStates]] = None,
+    use_intervals: bool = True,
 ) -> WcetResult:
-    """Static WCET of one invocation of ``program`` from its entry."""
+    """Static WCET of one invocation of ``program`` from its entry.
+
+    ``ranges`` may supply precomputed per-function interval states;
+    with ``use_intervals=False`` the interval-derived refinements
+    (range loop bounds, body-trip caps, path-sensitive collapse) are
+    disabled and the pre-interval bound is reproduced.
+    """
     entry = entry or program.entry
     result = WcetResult(program=program.name)
     consts = dict(consts) if consts else {}
+    ranges = dict(ranges) if ranges else {}
     cfgs: Dict[str, CFG] = {}
 
     def analysis_for(name: str) -> ConstantStates:
@@ -473,6 +888,17 @@ def estimate_wcet(
             cfg = cfgs.setdefault(name, build_cfg(program.functions[name]))
             cached = constant_states(program.functions[name], cfg=cfg)
             consts[name] = cached
+        return cached
+
+    def ranges_for(name: str) -> Optional[IntervalStates]:
+        if not use_intervals:
+            return None
+        cached = ranges.get(name)
+        if cached is None:
+            cfg = cfgs.setdefault(name, build_cfg(program.functions[name]))
+            cached = interval_states(program.functions[name], cfg=cfg,
+                                     program=program)
+            ranges[name] = cached
         return cached
 
     # Callees-first order over the call graph; recursion is an error.
@@ -514,11 +940,12 @@ def estimate_wcet(
         if result.function_cycles.get(name, 0) is None:
             continue  # Part of a recursion cycle.
         cfg = cfgs.setdefault(name, build_cfg(program.functions[name]))
-        cycles, loops = _function_wcet(
+        cycles, loops, method = _function_wcet(
             program, name, cfg, analysis_for(name),
-            result.function_cycles, result.findings,
+            result.function_cycles, result.findings, ranges_for(name),
         )
         result.function_cycles[name] = cycles
+        result.function_method[name] = method
         if loops:
             result.loops[name] = loops
 

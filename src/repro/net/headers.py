@@ -9,14 +9,23 @@ ID that the NIC's match stage dispatches on (paper §4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import ClassVar
+from typing import ClassVar, Dict, Optional, Tuple
 
 
 @dataclass
 class Header:
-    """Base class for all headers; subclasses declare ``BYTES``."""
+    """Base class for all headers; subclasses declare ``BYTES``.
+
+    ``FIELD_RANGES`` declares the on-wire value range of each numeric
+    field (inclusive ``(lo, hi)``), i.e. what the field's bit width in
+    the packet format guarantees. The static verifier seeds its interval
+    analysis from these declarations, so keep them faithful to the wire
+    encoding; fields that are not listed (strings, unconstrained values)
+    are treated as unknown.
+    """
 
     BYTES: ClassVar[int] = 0
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {}
 
     @property
     def size_bytes(self) -> int:
@@ -35,6 +44,9 @@ class EthernetHeader(Header):
     """L2 header."""
 
     BYTES: ClassVar[int] = 14
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "ethertype": (0, 0xFFFF),
+    }
     src_mac: str = ""
     dst_mac: str = ""
     ethertype: int = 0x0800
@@ -45,6 +57,10 @@ class IPv4Header(Header):
     """L3 header (options-free)."""
 
     BYTES: ClassVar[int] = 20
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "protocol": (0, 0xFF),
+        "ttl": (0, 0xFF),
+    }
     src_ip: str = ""
     dst_ip: str = ""
     protocol: int = 17
@@ -56,6 +72,11 @@ class UDPHeader(Header):
     """L4 datagram header."""
 
     BYTES: ClassVar[int] = 8
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "src_port": (0, 0xFFFF),
+        "dst_port": (0, 0xFFFF),
+        "length": (0, 0xFFFF),
+    }
     src_port: int = 0
     dst_port: int = 0
     length: int = 0
@@ -66,6 +87,13 @@ class TCPHeader(Header):
     """L4 stream header (used only by host-backend cost modelling)."""
 
     BYTES: ClassVar[int] = 20
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "src_port": (0, 0xFFFF),
+        "dst_port": (0, 0xFFFF),
+        "seq": (0, 0xFFFFFFFF),
+        "ack": (0, 0xFFFFFFFF),
+        "flags": (0, 0x1FF),
+    }
     src_port: int = 0
     dst_port: int = 0
     seq: int = 0
@@ -83,6 +111,13 @@ class LambdaHeader(Header):
     """
 
     BYTES: ClassVar[int] = 16
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "wid": (0, 0xFFFFFFFF),
+        "request_id": (0, 0xFFFFFFFF),
+        "seq": (0, 0xFFFF),
+        "total_segments": (1, 0xFFFF),
+        "is_response": (0, 1),
+    }
     wid: int = 0
     request_id: int = 0
     seq: int = 0
@@ -95,6 +130,9 @@ class RpcHeader(Header):
     """Application RPC header: method + tiny key/value scratch fields."""
 
     BYTES: ClassVar[int] = 24
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "status": (0, 0xFFFF),
+    }
     method: str = ""
     key: str = ""
     status: int = 0
@@ -105,6 +143,11 @@ class RdmaHeader(Header):
     """RoCEv2-style RDMA write header (BTH + RETH, abbreviated)."""
 
     BYTES: ClassVar[int] = 28
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "remote_address": (0, 2**64 - 1),
+        "length": (0, 0xFFFFFFFF),
+        "qp": (0, 0xFFFFFF),
+    }
     opcode: str = "WRITE"
     remote_address: int = 0
     length: int = 0
@@ -116,6 +159,9 @@ class ServerHdr(Header):
     """The web-server workload's response-address header (Listing 2)."""
 
     BYTES: ClassVar[int] = 8
+    FIELD_RANGES: ClassVar[Dict[str, Tuple[int, int]]] = {
+        "address": (0, 2**64 - 1),
+    }
     address: int = 0
 
 
@@ -139,6 +185,18 @@ def header_class(name: str) -> type:
         return _BY_NAME[name]
     except KeyError:
         raise KeyError(f"unknown header type {name!r}") from None
+
+
+def declared_field_range(header: str, field_name: str) -> Optional[Tuple[int, int]]:
+    """The declared ``(lo, hi)`` wire range of a standard header field.
+
+    Returns None for unknown headers and undeclared fields — the caller
+    (the verifier's interval analysis) must treat those as unbounded.
+    """
+    cls = _BY_NAME.get(header)
+    if cls is None:
+        return None
+    return cls.FIELD_RANGES.get(field_name)
 
 
 class HeaderStack:

@@ -446,3 +446,113 @@ def test_cli_dump_source(capsys):
     out = capsys.readouterr().out
     assert "JIT-generated code" in out
     compile(out, "<cli>", "exec")
+
+
+# -- interval-driven memcpy lowering ----------------------------------------
+
+
+def masked_memcpy_program():
+    """Offset and length masked into [0, 63] / [0, 31] of 128 B
+    objects: the JIT's interval pass proves every byte in bounds."""
+
+    def body(f):
+        f.hload("r1", "LambdaHeader", "request_id")
+        f.hash("r2", "r1")
+        f.band("r2", "r2", 63)
+        f.hash("r3", "r2")
+        f.band("r3", "r3", 31)
+        f.memcpy("dst", "r2", "src", 0, "r3")
+        f.ret("r3")
+
+    return build(body, objects=[("dst", 128), ("src", 128)])
+
+
+def test_const_length_memcpy_folds_to_slice_and_stays_cycle_exact():
+    def body(f):
+        f.mov("r1", 0xBEEF)
+        f.store("src", 0, "r1")
+        f.memcpy("dst", 8, "src", 0, 48)
+        f.load("r2", "dst", 8)
+        f.ret("r2")
+
+    program = build(body, objects=[("dst", 64), ("src", 64)])
+    jit = JitInterpreter()
+    ref_memory = fresh_memory(program)
+    jit_memory = {k: bytearray(v) for k, v in ref_memory.items()}
+    ref, jt = run_both(program, {}, {}, ref_memory, jit_memory, jit=jit)
+    assert ref == jt
+    assert ref_memory == jit_memory
+    assert jit.stats.fallbacks == 0
+    compiled = jit.compiled_for(program)
+    # The burst loop is gone: cycles folded into the segment constant,
+    # the copy lowered to one slice assignment with no range check.
+    assert compiled.lowering_stats["memcpy_folded"] == 1
+    assert compiled.lowering_stats["memcpy_checks_elided"] == 1
+    assert "_bursts" not in compiled.source
+
+
+def test_proven_memcpy_elides_checks_differentially():
+    program = masked_memcpy_program()
+    jit = JitInterpreter()
+    ref_memory = fresh_memory(program)
+    jit_memory = {k: bytearray(v) for k, v in ref_memory.items()}
+    for request_id in range(0, 4000, 97):
+        headers = {"LambdaHeader": {"request_id": request_id}}
+        ref, jt = run_both(program, headers, {}, ref_memory, jit_memory,
+                           jit=jit)
+        assert ref == jt, f"request_id={request_id}: {ref} != {jt}"
+    assert ref_memory == jit_memory
+    assert jit.stats.fallbacks == 0
+    compiled = jit.compiled_for(program)
+    assert compiled.lowering_stats["memcpy_checks_elided"] == 1
+    # Dynamic length: the burst charge must stay in the generated code.
+    assert compiled.lowering_stats["memcpy_folded"] == 0
+
+
+def test_elision_guard_catches_undersized_caller_memory():
+    """The static proof assumes declared object sizes; callers may
+    pass *any* memory dict, so the elided check is guarded by a size
+    comparison — an undersized buffer still faults identically."""
+
+    def body(f):
+        f.memcpy("dst", 0, "src", 0, 16)
+        f.ret(0)
+
+    program = build(body, objects=[("dst", 64), ("src", 64)])
+    jit = JitInterpreter()
+    ref_memory = {"dst": bytearray(8), "src": bytearray(8)}
+    jit_memory = {"dst": bytearray(8), "src": bytearray(8)}
+    ref, jt = run_both(program, {}, {}, ref_memory, jit_memory, jit=jit)
+    assert ref[0] == "err" and ref == jt
+    assert "memcpy out of bounds" in ref[2]
+    compiled = jit.compiled_for(program)
+    assert compiled.lowering_stats["memcpy_checks_elided"] == 1
+
+
+def test_unprovable_memcpy_keeps_the_runtime_check():
+    """An unmasked hash offset may exceed the object: no elision, and
+    the runtime check fires identically in both engines."""
+
+    def body(f):
+        f.hload("r1", "LambdaHeader", "request_id")
+        f.hash("r2", "r1")
+        f.memcpy("dst", "r2", "src", 0, 8)
+        f.ret(0)
+
+    program = build(body, objects=[("dst", 64), ("src", 64)])
+    jit = JitInterpreter()
+    ref_memory = fresh_memory(program)
+    jit_memory = {k: bytearray(v) for k, v in ref_memory.items()}
+    saw_error = False
+    for request_id in range(64):
+        headers = {"LambdaHeader": {"request_id": request_id}}
+        ref, jt = run_both(program, headers, {}, ref_memory, jit_memory,
+                           jit=jit)
+        assert ref == jt
+        saw_error = saw_error or ref[0] == "err"
+    assert saw_error, "hash should overflow a 64 B object sometimes"
+    compiled = jit.compiled_for(program)
+    assert compiled.lowering_stats["memcpy_checks_elided"] == 0
+    # The burst charge still folds (length is the constant 8) — the
+    # two lowerings are independent.
+    assert compiled.lowering_stats["memcpy_folded"] == 1

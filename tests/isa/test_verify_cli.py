@@ -1,4 +1,5 @@
-"""The standalone lint CLI: files, --workloads, --json, exit codes."""
+"""The standalone lint CLI: files, --workloads, --json, --forbid,
+--explain, --wcet-delta, exit codes."""
 
 import json
 
@@ -94,13 +95,116 @@ def test_nothing_to_verify_is_an_error():
         main([])
 
 
-def test_shipped_examples_are_clean():
+def example_files():
     from pathlib import Path
 
-    examples = sorted(
+    return sorted(
         str(p) for p in
         (Path(__file__).resolve().parents[2] / "examples" /
          "lambdas").glob("*.asm")
     )
+
+
+def test_shipped_examples_are_clean():
+    examples = example_files()
     assert examples, "examples/lambdas/*.asm missing"
     assert main(examples) == 0
+
+
+# -- interval-provenance flags ----------------------------------------------
+
+MASKED = """\
+.lambda masked entry=masked
+.object buckets size=256 access=read_write
+.func masked
+    hload r1, LambdaHeader.request_id
+    hash r2, r1
+    and r2, r2, 248
+    resolve r14, [buckets+r2]
+    load r0, r14, [buckets+r2]
+    ret r0
+"""
+
+UNPROVEN = """\
+.lambda unproven entry=unproven
+.object buckets size=256 access=read_write
+.func unproven
+    hload r1, LambdaHeader.request_id
+    hash r2, r1
+    resolve r14, [buckets+r2]
+    load r0, r14, [buckets+r2]
+    ret r0
+"""
+
+HEADER_LOOP = """\
+.lambda hdrloop entry=hdrloop
+.func hdrloop
+    hload r1, LambdaHeader.total_segments
+    mov r2, 0
+label loop
+    bge r2, r1, done
+    add r2, r2, 1
+    jmp loop
+label done
+    ret r2
+"""
+
+
+def test_forbid_rejects_on_matching_finding_code(tmp_path, capsys):
+    masked = write(tmp_path, "masked.asm", MASKED)
+    unproven = write(tmp_path, "unproven.asm", UNPROVEN)
+    # Proven offsets are fine; an unprovable one trips --forbid even
+    # though it is only warning-grade.
+    assert main([masked, "--forbid", "unknown-offset"]) == 0
+    assert main([unproven]) == 0
+    capsys.readouterr()
+    assert main([unproven, "--forbid", "unknown-offset"]) == 1
+    captured = capsys.readouterr()
+    assert "forbidden finding" in captured.err
+    assert "unknown-offset" in captured.err
+
+
+def test_shipped_examples_have_no_unknown_offsets(capsys):
+    """The CI gate: every bundled lambda proves all its offsets."""
+    assert main(example_files() + ["--forbid", "unknown-offset",
+                                   "--quiet"]) == 0
+
+
+def test_explain_prints_abstract_state(tmp_path, capsys):
+    path = write(tmp_path, "masked.asm", MASKED)
+    assert main([path, "--explain", "masked@3", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "masked@3" in out
+    assert "r2: range [0, 248]" in out
+
+
+def test_explain_rejects_bad_specs(tmp_path, capsys):
+    path = write(tmp_path, "masked.asm", MASKED)
+    assert main([path, "--explain", "masked@99", "--quiet"]) == 1
+    assert "no instruction 99" in capsys.readouterr().err
+    assert main([path, "--explain", "nonsense", "--quiet"]) == 1
+    # A function the program does not define is silently skipped (the
+    # target may live in another file on the command line).
+    assert main([path, "--explain", "other@0", "--quiet"]) == 0
+
+
+def test_wcet_delta_table(tmp_path, capsys):
+    clean = write(tmp_path, "clean.asm", CLEAN)
+    loop = write(tmp_path, "hdrloop.asm", HEADER_LOOP)
+    artifact = tmp_path / "delta.md"
+    assert main([clean, loop, "--wcet-delta", str(artifact),
+                 "--quiet"]) == 0
+    table = artifact.read_text()
+    assert "| program | WCET (pre-interval) | WCET (interval) | delta |" \
+        in table
+    # The straight-line program is exact either way; the header-limited
+    # loop only gets a bound from the interval pass.
+    assert "| clean |" in table and "| 0 |" in table
+    assert "| hdrloop | unbounded |" in table
+    assert "newly bounded" in table
+
+
+def test_wcet_delta_to_stdout(tmp_path, capsys):
+    loop = write(tmp_path, "hdrloop.asm", HEADER_LOOP)
+    assert main([loop, "--wcet-delta", "-", "--quiet"]) == 0
+    assert "newly bounded" in capsys.readouterr().out

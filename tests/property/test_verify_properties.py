@@ -1,12 +1,18 @@
 """Property-based tests for the static-analysis layer.
 
-Two properties the verifier's soundness rests on:
+The properties the verifier's soundness rests on:
 
 * every dataflow fixpoint terminates on arbitrary (fuzzed) CFGs —
   including irreducible flow graphs the builder would never emit;
 * constant propagation agrees exactly with the interpreter on
   straight-line programs (where the all-NAC entry state plus concrete
-  ``mov`` seeds make every register's value statically known).
+  ``mov`` seeds make every register's value statically known);
+* the interval lattice is algebraically well-behaved (join is an upper
+  bound, meet a lower bound, widening jumps to a fixpoint) and the
+  interval analysis never excludes a value the interpreter actually
+  produces — on straight-line *and* branchy programs, where the
+  branch-edge refinement must only ever shave values a path cannot
+  carry.
 """
 
 from hypothesis import given, settings
@@ -15,10 +21,12 @@ from hypothesis import strategies as st
 from repro.isa import Function, Interpreter, Op, ProgramBuilder, ins
 from repro.isa.verify import (
     NAC,
+    Interval,
     build_cfg,
     constant_states,
     dead_stores,
     estimate_wcet,
+    interval_states,
     reaching_definitions,
     uninitialized_reads,
     verify_program,
@@ -148,3 +156,146 @@ def test_constprop_agrees_with_interpreter_on_straight_line(case):
     assert predicted is not NAC, "fully-seeded program must fold"
     observed = Interpreter().run(program).return_value
     assert predicted == observed
+
+
+# -- interval lattice: algebra ----------------------------------------------
+
+
+@st.composite
+def an_interval(draw):
+    lo = draw(st.one_of(st.none(), st.integers(-500, 500)))
+    if lo is None:
+        hi = draw(st.one_of(st.none(), st.integers(-500, 500)))
+    else:
+        hi = draw(st.one_of(st.none(), st.integers(lo, lo + 1000)))
+    return Interval(lo, hi)
+
+
+def _points_in(draw, iv):
+    lo = iv.lo if iv.lo is not None else -1000
+    hi = iv.hi if iv.hi is not None else 1000
+    return draw(st.integers(lo, hi))
+
+
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_interval_join_is_a_commutative_upper_bound(data):
+    a = data.draw(an_interval())
+    b = data.draw(an_interval())
+    joined = a.join(b)
+    assert joined == b.join(a)
+    assert a.join(a) == a
+    assert joined.contains(_points_in(data.draw, a))
+    assert joined.contains(_points_in(data.draw, b))
+
+
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_interval_meet_is_a_lower_bound(data):
+    a = data.draw(an_interval())
+    b = data.draw(an_interval())
+    met = a.meet(b)
+    assert met == b.meet(a)
+    assert a.meet(a) == a
+    if met is not None:
+        point = _points_in(data.draw, met)
+        assert a.contains(point) and b.contains(point)
+    else:
+        # Empty meet: no point may be in both.
+        point = _points_in(data.draw, a)
+        assert not b.contains(point)
+
+
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_interval_widening_is_a_one_step_fixpoint(data):
+    a = data.draw(an_interval())
+    b = data.draw(an_interval())
+    widened = a.widen(b)
+    # Widening over-approximates both arguments...
+    assert widened.contains(_points_in(data.draw, a))
+    assert widened.contains(_points_in(data.draw, b))
+    # ...is stationary on equal input (termination at a fixpoint)...
+    assert a.widen(a) == a
+    # ...and re-widening with anything already covered changes nothing:
+    # the ascending chain stabilizes after one jump per bound.
+    assert widened.widen(b) == widened
+    assert widened.widen(a.join(b)) == widened
+
+
+# -- interval analysis: termination and soundness ---------------------------
+
+
+@given(function=fuzzed_function())
+@settings(max_examples=60, deadline=None)
+def test_interval_fixpoint_terminates_on_fuzzed_cfgs(function):
+    """Widening + bounded narrowing must converge on any CFG shape."""
+    cfg = build_cfg(function)
+    states = interval_states(function, cfg=cfg)
+    reachable_indices = {
+        index
+        for bid in cfg.reachable()
+        for index, _ in cfg.blocks[bid].instructions
+    }
+    # Branch-edge refinement may prove syntactically-reachable blocks
+    # dead (e.g. `mov r0, 0; beq r0, 0, ...` has an infeasible
+    # fall-through), so the analysis covers a *subset* of the CFG's
+    # reachable set — but never anything outside it.
+    assert set(states.instr_in) <= reachable_indices
+    if reachable_indices:
+        # The entry block's first real instruction always has a state.
+        assert min(reachable_indices) in states.instr_in
+
+
+@given(case=straight_line_program())
+@settings(max_examples=120, deadline=None)
+def test_intervals_contain_interpreter_value_on_straight_line(case):
+    program, ret_reg = case
+    function = program.functions["line"]
+    states = interval_states(function, program=program)
+    ret_index = len(function.body) - 1
+    predicted = states.range_before(ret_index, ret_reg)
+    observed = Interpreter().run(program).return_value
+    if predicted is not None:
+        assert predicted.contains(observed)
+
+
+@st.composite
+def branchy_program(draw):
+    """Seeded registers, then forward-only compare-and-skip diamonds:
+    always terminates, and every branch edge exercises refinement."""
+    builder = ProgramBuilder("branchy")
+    fn = builder.function("branchy")
+    for reg in _REGISTERS:
+        fn.mov(reg, draw(st.integers(0, 50)))
+    n = draw(st.integers(min_value=1, max_value=6))
+    for i in range(n):
+        skip = f"skip{i}"
+        op = draw(st.sampled_from([Op.BEQ, Op.BNE, Op.BLT, Op.BGE]))
+        fn.emit(op, draw(st.sampled_from(_REGISTERS)),
+                draw(st.integers(0, 50)), skip)
+        fn.emit(draw(st.sampled_from(_ALU)),
+                draw(st.sampled_from(_REGISTERS)),
+                draw(st.sampled_from(_REGISTERS)),
+                draw(st.integers(0, 50)))
+        fn.label(skip)
+    ret_reg = draw(st.sampled_from(_REGISTERS))
+    fn.ret(ret_reg)
+    builder.close(fn)
+    return builder.build(), ret_reg
+
+
+@given(case=branchy_program())
+@settings(max_examples=120, deadline=None)
+def test_intervals_contain_interpreter_value_on_branchy_programs(case):
+    """Branch-edge refinement may shave only values a path cannot
+    carry: whatever the interpreter returns must stay inside the
+    interval the analysis proved for the merged exit state."""
+    program, ret_reg = case
+    function = program.functions["branchy"]
+    states = interval_states(function, program=program)
+    ret_index = len(function.body) - 1
+    predicted = states.range_before(ret_index, ret_reg)
+    observed = Interpreter().run(program).return_value
+    if predicted is not None:
+        assert predicted.contains(observed)

@@ -186,3 +186,67 @@ def test_manager_without_policy_is_unchanged():
     record = process.value
     assert record.backend_kind == "lambda-nic"
     assert record.admission is None
+
+
+# -- differential guard for verifier deepening -------------------------------
+
+
+def interval_flagged_nic_program(name="flagged"):
+    """Verifies clean pre-intervals (warning-grade unknown offset);
+    the interval pass proves the offset entirely out of bounds."""
+    from repro.isa import ProgramBuilder
+
+    builder = ProgramBuilder(name)
+    builder.object("small", 8)
+    fn = builder.function(name)
+    fn.hload("r1", "LambdaHeader", "request_id")
+    fn.hash("r2", "r1")
+    fn.band("r2", "r2", 7)
+    fn.add("r2", "r2", 64)  # proven range [64, 71] into 8 B
+    fn.load("r0", "small", "r2")
+    fn.ret("r0")
+    builder.close(fn)
+    return builder.build()
+
+
+def interval_flagged_spec(name="flagged"):
+    return WorkloadSpec(
+        name=name,
+        kind="web",
+        nic_factory=lambda name=name: interval_flagged_nic_program(name),
+        host_factory=web_server_host,
+    )
+
+
+def test_differential_guard_keeps_previously_admitted_lambdas():
+    """Sharper analysis must only tighten diagnostics, never flip a
+    lambda the pre-interval verifier admitted to rejected."""
+    from repro.serverless.admission import VerifyOptions
+    from repro.isa.verify import verify_program
+
+    program = interval_flagged_nic_program()
+    # Precondition: the two analysis depths genuinely disagree.
+    assert not verify_program(program).ok
+    assert verify_program(program, VerifyOptions(use_intervals=False)).ok
+
+    decision = AdmissionPolicy().evaluate(
+        interval_flagged_spec(), "lambda-nic",
+        available_kinds=("lambda-nic",),
+    )
+    assert decision.reason == "admitted"
+    assert decision.report.ok
+
+
+def test_differential_guard_can_be_disabled():
+    policy = AdmissionPolicy(differential_guard=False)
+    with pytest.raises(AdmissionError) as excinfo:
+        policy.evaluate(interval_flagged_spec(), "lambda-nic",
+                        available_kinds=("lambda-nic",))
+    assert "oob-load" in str(excinfo.value.report.errors[0])
+
+
+def test_guard_does_not_mask_genuine_errors():
+    """Bugs both analysis depths agree on still reject."""
+    with pytest.raises(AdmissionError):
+        AdmissionPolicy().evaluate(buggy_spec(), "lambda-nic",
+                                   available_kinds=("lambda-nic",))
